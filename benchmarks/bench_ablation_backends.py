@@ -1,0 +1,65 @@
+"""Ablation — local-computation backends (paper §III method choice).
+
+The paper picked Qhull for the local Voronoi computation over alternatives
+(CGAL's Delaunay-first route, Voro++'s cell-by-cell clipping) citing
+performance and robustness.  This repo implements both strategies, so the
+choice can be measured: the vectorized Qhull path vs the Voro++-style
+clipping backend, at identical output (the suites assert cell-for-cell
+agreement; this bench reports the cost ratio and the per-cell times).
+"""
+
+import numpy as np
+
+from repro.core import match_tessellations, tessellate
+from repro.diy.bounds import Bounds
+from conftest import write_report
+
+SIZES = (512, 1024, 2048)
+
+
+def test_ablation_backend_comparison(benchmark):
+    rng = np.random.default_rng(9)
+
+    def sweep():
+        rows = []
+        for n in SIZES:
+            box = float(round(n ** (1 / 3)))
+            pts = rng.uniform(0, box, size=(n, 3))
+            domain = Bounds.cube(box)
+            fast = tessellate(pts, domain, nblocks=4, ghost=3.5, backend="qhull")
+            clip = tessellate(pts, domain, nblocks=4, ghost=3.5, backend="clip")
+            m = match_tessellations(fast, clip)
+            rows.append(
+                (
+                    n,
+                    fast.timings.compute_cpu,
+                    clip.timings.compute_cpu,
+                    m.accuracy_percent,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        "ABLATION — LOCAL VORONOI BACKENDS (qhull-vectorized vs clipping)",
+        "",
+        f"{'points':>8} {'qhull_s':>9} {'clip_s':>9} {'speedup':>8} "
+        f"{'us/cell qh':>11} {'us/cell clip':>13} {'agreement %':>12}",
+    ]
+    for n, tq, tc, acc in rows:
+        lines.append(
+            f"{n:8d} {tq:9.3f} {tc:9.2f} {tc / tq:8.1f}x "
+            f"{1e6 * tq / n:11.1f} {1e6 * tc / n:13.0f} {acc:12.2f}"
+        )
+    lines += [
+        "",
+        "both backends produce identical complete cells; the vectorized",
+        "Qhull path is the production default (the paper's choice, for the",
+        "same reason: mature hull code beats per-cell plane clipping).",
+    ]
+    write_report("ablation_backends", lines)
+
+    for n, tq, tc, acc in rows:
+        assert acc == 100.0  # identical output
+        assert tc > 2.0 * tq  # qhull path substantially faster

@@ -1,0 +1,96 @@
+"""Figure 10 — Strong and weak scaling of the tessellation (incl. I/O).
+
+Paper: log-log curves of total tessellation time against process count for
+four problem sizes (strong scaling, 30-41% efficiency at 8-128x) and of
+per-particle time for fixed particles-per-process (weak scaling, 86%
+efficiency).
+
+Here: rank-thread CPU time against 1-8 ranks.  Expected shape: strong-
+scaling curves slope downward with efficiency well below 100% (ghost-zone
+overhead grows with block count) but far above zero; weak-scaling
+per-particle time stays roughly flat (high efficiency).
+"""
+
+import numpy as np
+
+from repro.core import tessellate
+from repro.diy.bounds import Bounds
+from conftest import write_report
+
+STRONG_SIZES = (1728, 4096, 8000)  # 12^3, 16^3, 20^3
+RANK_COUNTS = (1, 2, 4, 8)
+WEAK_PER_RANK = 1728
+
+
+def _points(n: int, box: float, seed: int) -> np.ndarray:
+    return np.random.default_rng(seed).uniform(0, box, size=(n, 3))
+
+
+def _tess_time(points: np.ndarray, box: float, nranks: int, out_path: str) -> float:
+    tess = tessellate(
+        points,
+        Bounds.cube(box),
+        nblocks=nranks,
+        ghost=4.0,
+        output_path=out_path,
+    )
+    return tess.timings.total_cpu
+
+
+def test_fig10_strong_and_weak_scaling(benchmark, tmp_path):
+    def sweep():
+        strong = {}
+        for n in STRONG_SIZES:
+            box = float(round(n ** (1 / 3)))
+            pts = _points(n, box, seed=n)
+            strong[n] = [
+                _tess_time(pts, box, r, str(tmp_path / f"s{n}_{r}.tess"))
+                for r in RANK_COUNTS
+            ]
+        weak = []
+        for r in RANK_COUNTS:
+            n = WEAK_PER_RANK * r
+            box = float(n ** (1 / 3))
+            pts = _points(n, box, seed=n)
+            weak.append(
+                _tess_time(pts, box, r, str(tmp_path / f"w{r}.tess"))
+            )
+        return strong, weak
+
+    strong, weak = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        "FIGURE 10 — TESSELLATION SCALING (thread-CPU time incl. output)",
+        "",
+        "STRONG SCALING (seconds):",
+        f"{'particles':>10} " + " ".join(f"{r:>8d}" for r in RANK_COUNTS),
+    ]
+    for n in STRONG_SIZES:
+        lines.append(f"{n:10d} " + " ".join(f"{t:8.3f}" for t in strong[n]))
+    strong_eff = {
+        n: strong[n][0] / (RANK_COUNTS[-1] * strong[n][-1]) for n in STRONG_SIZES
+    }
+    lines += [
+        "strong-scaling efficiency at 8 ranks: "
+        + ", ".join(f"{n}: {e:.0%}" for n, e in strong_eff.items())
+        + "   (paper: 30-41%)",
+        "",
+        "WEAK SCALING (1728 particles/rank; microseconds per particle):",
+        f"{'ranks':>6} {'seconds':>9} {'us/particle':>12}",
+    ]
+    for r, t in zip(RANK_COUNTS, weak):
+        lines.append(f"{r:6d} {t:9.3f} {1e6 * t / (WEAK_PER_RANK * r) * r:12.2f}")
+    weak_eff = weak[0] / weak[-1]
+    lines += [
+        f"weak-scaling efficiency at 8 ranks: {weak_eff:.0%}   (paper: 86%)",
+    ]
+    write_report("fig10_scaling", lines)
+
+    # Shape assertions.
+    for n in STRONG_SIZES:
+        # Monotone speedup with rank count.
+        assert strong[n][0] > strong[n][-1]
+        # Efficiency imperfect (ghost overhead) but meaningful.
+        assert 0.15 < strong_eff[n] <= 1.05
+    # Weak scaling: per-rank time roughly flat (within 2.5x of 1-rank).
+    assert weak_eff > 0.4

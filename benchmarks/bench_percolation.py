@@ -1,0 +1,52 @@
+"""§III-D application — percolation of the void network.
+
+The paper lists percolation studies among the uses of its component and
+Minkowski machinery (citing Shandarin's excursion-set analysis of void
+shapes [22]).  This bench traces the percolation curve of the evolved
+snapshot's void network — largest-component fraction vs volume threshold —
+and locates the fragmentation transition.
+"""
+
+import numpy as np
+
+from repro.analysis.percolation import percolation_curve, percolation_threshold
+from conftest import write_report
+
+
+def test_percolation_of_void_network(benchmark, evolved_snapshot_32):
+    cfg, tessellations = evolved_snapshot_32
+    tess = tessellations[100]
+    vmax = float(tess.volumes().max())
+
+    def compute():
+        fractions = np.linspace(0.0, 0.5, 11)
+        curve = percolation_curve(tess, fractions * vmax)
+        threshold = percolation_threshold(tess)
+        return curve, threshold
+
+    curve, threshold = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    lines = [
+        "PERCOLATION OF THE VOID NETWORK (32^3 evolved snapshot, §III-D)",
+        f"max cell volume: {vmax:.2f} (Mpc/h)^3",
+        "",
+        f"{'vmin/vmax':>10} {'kept':>7} {'components':>11} {'largest frac':>13}",
+    ]
+    for p in curve:
+        lines.append(
+            f"{p.vmin / vmax:10.2f} {p.kept_cells:7d} {p.num_components:11d} "
+            f"{p.largest_fraction:13.3f}"
+        )
+    lines += [
+        "",
+        f"percolation transition at vmin = {threshold:.2f} "
+        f"({threshold / vmax:.0%} of the max cell volume)",
+        "below it one void spans the kept network; above it the network",
+        "fragments into the distinct voids of Figure 9.",
+    ]
+    write_report("percolation", lines)
+
+    # The network starts percolating and ends fragmented.
+    assert curve[0].percolates
+    assert not curve[-1].percolates
+    assert 0.0 < threshold < vmax

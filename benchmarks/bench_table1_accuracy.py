@@ -1,0 +1,71 @@
+"""Table I — Parallel accuracy vs ghost-zone size and block count.
+
+Paper: 64^3 particles, 100 HACC steps; ghost sizes 0-4 (units of the
+initial 1 Mpc/h spacing) x 2/4/8 blocks, compared against a serial
+tessellation of the same particles.  Accuracy decreases with block count
+at small ghost sizes (more block boundaries, more broken cells) and
+reaches 100% once the ghost zone is sufficient (ghost = 4).
+
+Here: 16^3 particles, 100 steps — the same physics and spacing with the
+particle count scaled to this substrate.  The expected *shape*: monotone
+accuracy in ghost size per block count, decreasing accuracy in block count
+at ghost 0, and 100% rows at ghost >= 4.
+"""
+
+import numpy as np
+
+from repro.core import match_tessellations, tessellate
+from conftest import write_report
+
+GHOST_SIZES = (0.0, 1.0, 2.0, 3.0, 4.0)
+BLOCK_COUNTS = (2, 4, 8)
+
+
+def run_accuracy_table(cfg, positions, ids):
+    domain = cfg.domain()
+    serial = tessellate(positions, domain, nblocks=1, ghost=4.0, ids=ids)
+    rows = []
+    for ghost in GHOST_SIZES:
+        for nblocks in BLOCK_COUNTS:
+            par = tessellate(positions, domain, nblocks=nblocks, ghost=ghost, ids=ids)
+            m = match_tessellations(par, serial)
+            rows.append((ghost, nblocks, m))
+    return serial, rows
+
+
+def test_table1_parallel_accuracy(benchmark, evolved_snapshot_16):
+    cfg, positions, ids = evolved_snapshot_16
+
+    serial, rows = benchmark.pedantic(
+        run_accuracy_table, args=(cfg, positions, ids), rounds=1, iterations=1
+    )
+
+    lines = [
+        "TABLE I — PARALLEL ACCURACY (paper: 64^3, here: 16^3, 100 steps)",
+        f"serial reference cells: {serial.num_cells}",
+        "",
+        f"{'ghost':>6} {'blocks':>7} {'cells':>7} {'matching':>9} {'accuracy %':>11}",
+    ]
+    by_ghost = {}
+    for ghost, nblocks, m in rows:
+        lines.append(
+            f"{ghost:6.1f} {nblocks:7d} {m.cells_parallel:7d} "
+            f"{m.cells_matching:9d} {m.accuracy_percent:11.2f}"
+        )
+        by_ghost.setdefault(ghost, []).append(m.accuracy_percent)
+    lines += [
+        "",
+        "paper shape checks:",
+        f"  ghost=0, more blocks -> lower accuracy: "
+        f"{by_ghost[0.0]} {'OK' if by_ghost[0.0][0] >= by_ghost[0.0][-1] else 'FAIL'}",
+        f"  ghost=4 -> 100%: {by_ghost[4.0]} "
+        f"{'OK' if min(by_ghost[4.0]) >= 99.99 else 'FAIL'}",
+    ]
+    write_report("table1_accuracy", lines)
+
+    # Assertions on the paper's qualitative structure.
+    assert by_ghost[0.0][0] >= by_ghost[0.0][-1]  # 2 blocks beats 8 at ghost 0
+    for ghost_accs in zip(*(by_ghost[g] for g in GHOST_SIZES)):
+        assert list(ghost_accs) == sorted(ghost_accs)  # monotone in ghost
+    assert min(by_ghost[4.0]) >= 99.99
+    assert max(by_ghost[0.0]) < 100.0

@@ -1,0 +1,129 @@
+"""Table II — Performance of one in situ tessellation after a simulation.
+
+Paper: particle counts 128^3-1024^3 on 128-16384 BG/P nodes; columns are
+total time = simulation + tessellation, with the tessellation itemized
+into particle exchange / Voronoi computation / output, plus the output
+file size (with the smallest-volume cells culled).  Key shapes: the
+tessellation is a small fraction of the total; exchange time is
+negligible; the serial Voronoi computation dominates tess time; output
+size grows linearly with particle count.
+
+Here: 12^3-20^3 particles on 1-8 rank-threads.  Per-rank times are
+thread-CPU seconds (the faithful stand-in for per-node time on a real
+distributed machine — wall-clock in one GIL-bound process is not).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.tessellate import tessellate_distributed
+from repro.diy.comm import run_parallel
+from repro.hacc import HACCSimulation, SimulationConfig
+from conftest import write_report
+
+# (np_side, nsteps) — steps shrink as size grows, like the paper's 100/50/25.
+SIZES = ((12, 40), (16, 20), (20, 10))
+RANK_COUNTS = (1, 2, 4, 8)
+
+
+def run_configuration(np_side: int, nsteps: int, nranks: int, out_path: str):
+    cfg = SimulationConfig(np_side=np_side, nsteps=nsteps, seed=3)
+    # Culling threshold 'from experience' (paper: smallest 10% of the
+    # volume range): half the mean cell volume removes the dense majority.
+    vmin = 0.5 * cfg.domain().volume / cfg.num_particles
+
+    def worker(comm):
+        import time
+
+        sim = HACCSimulation(cfg, comm=comm)
+        c0 = time.thread_time()
+        sim.run()
+        sim_cpu = time.thread_time() - c0
+        block, timings, nbytes = tessellate_distributed(
+            comm,
+            sim.decomposition,
+            sim.positions_mpc(),
+            sim.local.ids,
+            ghost=4.0,
+            vmin=vmin,
+            output_path=out_path,
+        )
+        return sim_cpu, timings, nbytes, block.num_cells
+
+    results = run_parallel(nranks, worker)
+    sim_cpu = max(r[0] for r in results)
+    timings = results[0][1]
+    for r in results[1:]:
+        timings = timings.max_with(r[1])
+    nbytes = results[0][2]
+    ncells = sum(r[3] for r in results)
+    return sim_cpu, timings, nbytes, ncells
+
+
+def test_table2_performance(benchmark, tmp_path):
+    def sweep():
+        rows = []
+        for np_side, nsteps in SIZES:
+            for nranks in RANK_COUNTS:
+                out = str(tmp_path / f"t{np_side}_{nranks}.tess")
+                sim_cpu, t, nbytes, ncells = run_configuration(
+                    np_side, nsteps, nranks, out
+                )
+                rows.append(
+                    dict(
+                        particles=np_side**3,
+                        steps=nsteps,
+                        ranks=nranks,
+                        sim_s=sim_cpu,
+                        tess_s=t.total_cpu,
+                        exch_s=t.exchange_cpu,
+                        voro_s=t.compute_cpu,
+                        out_s=t.output_cpu,
+                        total_s=sim_cpu + t.total_cpu,
+                        bytes=nbytes,
+                        cells=ncells,
+                    )
+                )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        "TABLE II — PERFORMANCE DATA (per-rank thread-CPU seconds)",
+        "",
+        f"{'particles':>10} {'steps':>6} {'ranks':>6} {'total':>8} {'sim':>8} "
+        f"{'tess':>7} {'exch':>6} {'voro':>7} {'out':>6} {'size MB':>8} {'cells':>7}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r['particles']:10d} {r['steps']:6d} {r['ranks']:6d} "
+            f"{r['total_s']:8.2f} {r['sim_s']:8.2f} {r['tess_s']:7.2f} "
+            f"{r['exch_s']:6.3f} {r['voro_s']:7.2f} {r['out_s']:6.3f} "
+            f"{r['bytes'] / 1e6:8.2f} {r['cells']:7d}"
+        )
+    tess_frac = [r["tess_s"] / r["total_s"] for r in rows]
+    lines += [
+        "",
+        f"tess fraction of total: {min(tess_frac):.1%} .. {max(tess_frac):.1%} "
+        "(paper: 1-10%)",
+        "NOTE: the sim/tess cost ratio inverts on this substrate — the",
+        "NumPy PM simulation is vectorized C while Voronoi assembly is",
+        "Python-heavy, and the paper ran 25-100 full-force steps per",
+        "tessellation.  The reproduced shapes are the *within-tess*",
+        "breakdown: exchange negligible, serial Voronoi computation",
+        "dominant, output minor but growing, size linear in particles.",
+    ]
+    write_report("table2_performance", lines)
+
+    # Paper shape assertions.
+    for r in rows:
+        assert r["exch_s"] < 0.25 * max(r["voro_s"], 1e-9)  # exchange negligible
+        assert r["voro_s"] >= max(r["out_s"], r["exch_s"])  # compute dominates
+    # Output size grows with particle count (same rank count).
+    for nranks in RANK_COUNTS:
+        sizes = [r["bytes"] for r in rows if r["ranks"] == nranks]
+        assert sizes == sorted(sizes)
+    # Voronoi compute per rank shrinks as ranks grow (strong scaling).
+    for np_side, _ in SIZES:
+        voro = [r["voro_s"] for r in rows if r["particles"] == np_side**3]
+        assert voro[0] > voro[-1]

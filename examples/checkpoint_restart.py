@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Checkpointing, density annotation, and exact restart (paper §V).
+
+Writes a HACC-style 40-byte-per-particle checkpoint mid-run — with the
+per-particle scalar slot carrying each particle's Voronoi cell density,
+the augmentation the paper proposes in §V ("augment the output of particle
+positions with the cell volume or density at each site") — then restarts
+from the file and verifies the resumed run matches the uninterrupted one.
+
+Run:  python examples/checkpoint_restart.py
+"""
+
+import os
+import tempfile
+
+import numpy as np
+
+from repro.diy.comm import run_parallel
+from repro.hacc import HACCSimulation, SimulationConfig
+from repro.hacc.checkpoint import (
+    BYTES_PER_PARTICLE,
+    read_checkpoint,
+    restart_simulation,
+    write_checkpoint,
+)
+from repro.core import tessellate
+
+
+def main() -> None:
+    cfg = SimulationConfig(np_side=12, nsteps=20, seed=21)
+    path = os.path.join(tempfile.mkdtemp(prefix="ckpt_"), "mid.ckpt")
+    half = cfg.nsteps // 2
+
+    def worker(comm):
+        sim = HACCSimulation(cfg, comm=comm)
+        while sim.step_index < half:
+            sim.step()
+        # Annotate each particle with its Voronoi cell density (§V).
+        tess = tessellate(
+            sim.positions_mpc(),
+            cfg.domain(),
+            nblocks=1,
+            ghost=4.0,
+            ids=sim.local.ids,
+        ) if comm.size == 1 else None
+        if tess is not None:
+            density_by_id = dict(
+                zip(tess.site_ids().tolist(), (1.0 / tess.volumes()).tolist())
+            )
+            scalar = np.array(
+                [density_by_id.get(int(i), 0.0) for i in sim.local.ids]
+            )
+        else:
+            scalar = None
+        nbytes = write_checkpoint(path, comm, sim, scalar=scalar)
+        # Continue to the end for the reference result.
+        while sim.step_index < cfg.nsteps:
+            sim.step()
+        return nbytes, sim.local
+
+    nbytes, reference = run_parallel(1, worker)[0]
+    n = cfg.num_particles
+    print(f"checkpoint at step {half}: {nbytes} bytes "
+          f"({nbytes / n:.1f} B/particle; payload is {BYTES_PER_PARTICLE})")
+
+    particles, density, a, step, np_side = read_checkpoint(path)
+    print(f"read back: {len(particles)} particles at a={a:.3f}, step {step}")
+    print(f"annotated densities: min {density.min():.3f}, "
+          f"max {density.max():.3f} (1/cell-volume)")
+
+    def resume(comm):
+        sim = restart_simulation(path, cfg, comm=comm)
+        while sim.step_index < cfg.nsteps:
+            sim.step()
+        return sim.local
+
+    resumed = run_parallel(1, resume)[0]
+    ra = reference.positions[np.argsort(reference.ids)]
+    rb = resumed.positions[np.argsort(resumed.ids)]
+    drift = np.abs(ra - rb).max()
+    print(f"\nresumed vs uninterrupted run: max position drift {drift:.2e} "
+          "grid units")
+    print("(nonzero only through float32 checkpoint rounding)")
+
+
+if __name__ == "__main__":
+    main()

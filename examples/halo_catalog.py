@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Halo finding + halo-seeded tessellation (paper §V future work).
+
+The in situ framework runs a friends-of-friends halo finder alongside the
+simulation; the paper then proposes tessellating with *halos* as Voronoi
+sites instead of raw tracer particles, since halos map to observable
+galaxies.  This example does both: FOF catalog at z=0, then a Voronoi
+tessellation seeded at the halo centers.
+
+Run:  python examples/halo_catalog.py
+"""
+
+import numpy as np
+
+from repro.core import tessellate
+from repro.hacc import SimulationConfig
+from repro.insitu import run_simulation_with_tools
+from repro.analysis import histogram
+
+
+def main() -> None:
+    cfg = SimulationConfig(np_side=16, nsteps=60, seed=11)
+    print(f"Simulating {cfg.np_side}^3 particles with in situ FOF...\n")
+    results = run_simulation_with_tools(
+        cfg,
+        {"tools": [{"tool": "halo_finder",
+                    "params": {"linking_length": 0.2, "min_members": 8}}]},
+        nranks=4,
+    )
+    catalog = results["halo_finder"][cfg.nsteps]
+    print(f"halos found (>= 8 members): {catalog.num_halos}")
+    if catalog.num_halos == 0:
+        print("no halos at this scale; increase np_side or nsteps")
+        return
+
+    masses = catalog.masses()
+    print(f"largest halos (members): {masses[:8].tolist()}")
+    bins = np.array([8, 16, 32, 64, 128, 256, 1024])
+    counts = catalog.mass_function(bins)
+    print("\nMultiplicity function:")
+    for lo, hi, c in zip(bins[:-1], bins[1:], counts):
+        print(f"  {lo:5d} - {hi:5d} members: {c:4d} halos")
+
+    # Paper §V: reconstruct with halos as Voronoi sites.
+    centers = np.vstack([h.center for h in catalog.halos])
+    domain = cfg.domain()
+    print(f"\nTessellating {len(centers)} halo centers (halo-seeded Voronoi)...")
+    spacing = (domain.volume / len(centers)) ** (1 / 3)
+    tess = tessellate(centers, domain, nblocks=1, ghost=3.0 * spacing)
+    print(f"complete halo cells: {tess.num_cells} / {len(centers)}")
+    if tess.num_cells:
+        h = histogram(tess.volumes(), bins=8)
+        print("halo-cell volume distribution:")
+        for center, count in h.rows():
+            print(f"  {center:10.1f}  {count:4d} {'#' * count}")
+        print(
+            "\nLarge halo-cells trace the emptiest regions between observable "
+            "structures —\nthe prefiltered void probe the paper proposes."
+        )
+
+
+if __name__ == "__main__":
+    main()

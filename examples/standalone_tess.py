@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Standalone mode on external point data, with file output and re-reading.
+
+tess's standalone mode serves point sets that did not come from the coupled
+simulation — any domain's particle data (the paper names molecular
+dynamics, computational chemistry, groundwater transport, materials
+science).  This example builds a Lennard-Jones-like liquid configuration,
+tessellates it in parallel, writes the blocked tess file, and then re-reads
+a single block the way the postprocessing plugin's parallel reader would.
+
+Run:  python examples/standalone_tess.py [points.npy]
+"""
+
+import os
+import sys
+import tempfile
+
+import numpy as np
+
+from repro import Bounds
+from repro.core import read_tessellation, tessellate
+from repro.core.tess_io import read_blocks
+
+
+def liquid_like_points(n_side: int, box: float, seed: int = 0) -> np.ndarray:
+    """A jittered FCC-ish configuration: short-range order, no long-range."""
+    rng = np.random.default_rng(seed)
+    spacing = box / n_side
+    grid = (np.mgrid[0:n_side, 0:n_side, 0:n_side].reshape(3, -1).T + 0.5) * spacing
+    return (grid + rng.normal(0.0, 0.18 * spacing, size=grid.shape)) % box
+
+
+def main() -> None:
+    box = 12.0
+    if len(sys.argv) > 1:
+        points = np.load(sys.argv[1])
+        print(f"loaded {len(points)} points from {sys.argv[1]}")
+    else:
+        points = liquid_like_points(12, box, seed=5)
+        print(f"generated {len(points)} liquid-like points in a {box}^3 box")
+
+    domain = Bounds.cube(box)
+    out = os.path.join(tempfile.mkdtemp(prefix="tess_"), "standalone.tess")
+
+    tess = tessellate(points, domain, nblocks=4, ghost=2.5, output_path=out)
+    print(f"\ncomplete cells: {tess.num_cells} / {len(points)}")
+    print(f"wrote {tess.output_bytes} bytes ({tess.output_bytes / len(points):.0f} B/particle) to {out}")
+
+    # Full re-read.
+    ondisk = read_tessellation(out)
+    assert ondisk.num_cells == tess.num_cells
+    print(f"re-read all {ondisk.num_blocks} blocks: {ondisk.num_cells} cells")
+
+    # Subset read — the plugin's parallel reader pulls blocks independently.
+    blocks, dom = read_blocks(out, gids=[2])
+    b = blocks[0]
+    print(f"block 2 alone: {b.num_cells} cells, extents {b.extents.min} .. {b.extents.max}")
+    print(f"  mean faces/cell {b.faces_per_cell():.2f}, "
+          f"mean cell volume {b.volumes.mean():.3f}")
+
+    # A structural observation: liquid-like order narrows the volume
+    # distribution relative to a Poisson process.
+    cv = tess.volumes().std() / tess.volumes().mean()
+    print(f"\nvolume coefficient of variation: {cv:.3f} "
+          "(Poisson-Voronoi would be ~0.42)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Time-varying void evolution (paper §IV-D, Figure 11).
+
+Tessellates every tenth time step of a small simulation and tracks the
+cell density-contrast distribution: as structure forms, the range of
+delta = (d - mu_d)/mu_d expands and the skewness and kurtosis grow — the
+paper's simple indicators of the breakdown of perturbation theory.
+
+Run:  python examples/time_evolution.py
+"""
+
+import numpy as np
+
+from repro.hacc import SimulationConfig
+from repro.insitu import run_simulation_with_tools
+from repro.analysis import density_contrast, histogram
+
+
+def main() -> None:
+    cfg = SimulationConfig(np_side=16, nsteps=50, seed=3)
+    print(
+        f"Simulating {cfg.np_side}^3 particles, tessellating every 10 steps...\n"
+    )
+    results = run_simulation_with_tools(
+        cfg,
+        {"tools": [{"tool": "tessellation", "every": 10,
+                    "params": {"ghost": 4.0}}]},
+        nranks=2,
+    )
+
+    print(
+        f"{'step':>5} {'a':>6} {'z':>6} {'delta range':>22} "
+        f"{'skewness':>9} {'kurtosis':>9}"
+    )
+    for step in sorted(results["tessellation"]):
+        tess = results["tessellation"][step]
+        a = cfg.a_init + step * (cfg.a_final - cfg.a_init) / cfg.nsteps
+        delta = density_contrast(tess.volumes())
+        h = histogram(delta, bins=100)
+        rng_str = f"[{delta.min():7.2f}, {delta.max():8.2f}]"
+        print(
+            f"{step:5d} {a:6.3f} {1 / a - 1:6.2f} {rng_str:>22} "
+            f"{h.skewness:9.2f} {h.kurtosis:9.2f}"
+        )
+
+    print(
+        "\nExpected trend (paper Fig. 11): range of delta expands and both "
+        "moments increase\nas particles coalesce into halos; early steps are "
+        "near-Gaussian (kurtosis ~ 3-4)."
+    )
+
+
+if __name__ == "__main__":
+    main()

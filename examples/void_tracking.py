@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Tracking voids through time with the feature tree (paper §V).
+
+Tessellates every few steps of a simulation, labels void components at a
+fixed quantile threshold, and links them between outputs by shared member
+cells — the feature-tree tracking the paper lists as future work.  Voids
+are born, grow, merge, and occasionally split as walls dissolve.
+
+Run:  python examples/void_tracking.py
+"""
+
+import numpy as np
+
+from repro.hacc import SimulationConfig
+from repro.insitu import run_simulation_with_tools
+from repro.analysis import connected_components, track_components
+
+
+def main() -> None:
+    cfg = SimulationConfig(np_side=16, nsteps=60, seed=13)
+    print(f"Simulating {cfg.np_side}^3 particles, tessellating every 10 steps...\n")
+    results = run_simulation_with_tools(
+        cfg,
+        {"tools": [{"tool": "tessellation", "every": 10,
+                    "params": {"ghost": 4.0}}]},
+        nranks=2,
+    )
+
+    labelings = {}
+    for step, tess in sorted(results["tessellation"].items()):
+        v = tess.volumes()
+        vmin = float(np.quantile(v, 0.85))  # top 15% largest cells
+        lab = connected_components(tess, vmin=vmin)
+        labelings[step] = lab
+        sizes = np.sort(lab.sizes())[::-1]
+        print(f"step {step:3d}: {lab.num_components:3d} void components, "
+              f"largest {sizes[:4].tolist()}")
+
+    tree = track_components(labelings, min_overlap=2)
+    counts = tree.counts()
+    print("\nFeature-tree events across the run:")
+    for kind in ("continuation", "merge", "split", "birth", "death"):
+        print(f"  {kind:13s} {counts.get(kind, 0):4d}")
+
+    long_lived = sorted(tree.tracks, key=lambda t: -t.lifetime)[:5]
+    print("\nLongest-lived voids (steps present -> member-cell counts):")
+    for i, t in enumerate(long_lived):
+        growth = " -> ".join(f"{s}:{n}" for s, n in zip(t.steps, t.sizes))
+        print(f"  track {i}: {growth}")
+
+    survivors = [t for t in tree.tracks if t.lifetime == len(tree.steps)]
+    print(
+        f"\n{len(survivors)} void(s) persist through every output — the "
+        "stable large-scale voids;\nshort-lived tracks are threshold "
+        "fluctuations absorbed by merges."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Shim for environments without the `wheel` package (offline legacy install).
+
+`pip install -e . --no-build-isolation --no-use-pep517` uses this; normal
+online environments can use the pyproject.toml metadata directly.
+"""
+from setuptools import setup
+
+setup()

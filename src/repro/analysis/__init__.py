@@ -1,0 +1,93 @@
+"""Postprocessing analysis — the cosmology-tools plugin functionality.
+
+Mirrors the four functions of the paper's ParaView plugin (Figure 7):
+parallel reading of tess output (via :mod:`repro.core.tess_io`), threshold
+filtering, connected-component labeling, and Minkowski functionals — plus
+the void catalog built on top of them, summary statistics (volume and
+density-contrast histograms with skewness/kurtosis), a friends-of-friends
+halo finder, and the tessellation-based estimators the paper builds on or
+proposes: DTFE density fields, watershed void finding, multistream
+detection, and temporal feature tracking.
+"""
+
+from .components import (
+    ComponentLabeling,
+    UnionFind,
+    connected_components,
+    connected_components_distributed,
+)
+from .dtfe import dtfe_density, dtfe_grid, voronoi_density
+from .field import deposit_to_grid, sample_cells
+from .halos import Halo, HaloCatalog, fof_halos, fof_halos_distributed
+from .minkowski import MinkowskiFunctionals, minkowski_functionals
+from .percolation import (
+    PercolationPoint,
+    percolation_curve,
+    percolation_threshold,
+)
+from .multistream import (
+    fraction_multistream,
+    lagrangian_jacobian,
+    multistream_grid,
+)
+from .statistics import (
+    Histogram,
+    cell_density,
+    density_contrast,
+    histogram,
+    volume_range_concentration,
+)
+from .threshold import density_threshold_mask, kept_site_ids, volume_threshold_mask
+from .tracking import FeatureEvent, FeatureTrack, FeatureTree, track_components
+from .voids import Void, VoidCatalog, find_voids, volume_threshold_for_fraction
+from .render import ascii_render, slice_field, write_pgm
+from .watershed import WatershedResult, watershed_voids
+from .zobov import ZobovResult, Zone, zobov_voids
+
+__all__ = [
+    "ComponentLabeling",
+    "UnionFind",
+    "connected_components",
+    "connected_components_distributed",
+    "dtfe_density",
+    "dtfe_grid",
+    "deposit_to_grid",
+    "sample_cells",
+    "voronoi_density",
+    "Halo",
+    "HaloCatalog",
+    "fof_halos",
+    "fof_halos_distributed",
+    "MinkowskiFunctionals",
+    "minkowski_functionals",
+    "PercolationPoint",
+    "percolation_curve",
+    "percolation_threshold",
+    "fraction_multistream",
+    "lagrangian_jacobian",
+    "multistream_grid",
+    "Histogram",
+    "cell_density",
+    "density_contrast",
+    "histogram",
+    "volume_range_concentration",
+    "density_threshold_mask",
+    "kept_site_ids",
+    "volume_threshold_mask",
+    "FeatureEvent",
+    "FeatureTrack",
+    "FeatureTree",
+    "track_components",
+    "Void",
+    "VoidCatalog",
+    "find_voids",
+    "volume_threshold_for_fraction",
+    "WatershedResult",
+    "watershed_voids",
+    "ascii_render",
+    "slice_field",
+    "write_pgm",
+    "ZobovResult",
+    "Zone",
+    "zobov_voids",
+]

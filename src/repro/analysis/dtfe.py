@@ -1,0 +1,174 @@
+"""Delaunay Tessellation Field Estimator (DTFE; Schaap 2007).
+
+The paper's background (§II-A) grounds its tessellation approach in the
+DTFE family: ZOBOV and the Watershed Void Finder both start from a DTFE
+density reconstruction.  The estimator assigns each particle the density
+
+    rho_i = (1 + d) * m_i / V_star(i) ,   d = 3 (space dimension),
+
+where ``V_star(i)`` is the volume of the particle's *contiguous Voronoi
+star* — the union of Delaunay tetrahedra incident on it — and then
+interpolates linearly inside every Delaunay tetrahedron, producing a
+volume-weighted, adaptive-resolution continuous field.
+
+Two estimators are provided:
+
+* :func:`dtfe_density` — per-particle densities from the Delaunay star;
+* :func:`dtfe_grid` — the field sampled on a regular grid by
+  barycentric interpolation inside each tetrahedron (vectorized over grid
+  points via the Delaunay ``find_simplex`` walk).
+
+A Voronoi-based variant (:func:`voronoi_density`) uses tess cell volumes
+directly (``rho_i = m_i / V_cell(i)``), the estimator the paper's §V
+proposes attaching to particle outputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..diy.bounds import Bounds, wrap_positions
+from ..geometry.delaunay import delaunay
+
+__all__ = ["dtfe_density", "dtfe_grid", "voronoi_density"]
+
+
+def _padded_periodic(points: np.ndarray, domain: Bounds, pad: float):
+    """Replicate boundary particles across periodic seams.
+
+    Returns (all_points, origin_index) where ``origin_index[i]`` maps each
+    padded point back to its source particle.
+    """
+    pts = np.asarray(points, dtype=float)
+    lo, hi = domain.as_arrays()
+    sizes = domain.sizes
+    images = [pts]
+    origins = [np.arange(len(pts))]
+    shifts = []
+    for dx in (-1, 0, 1):
+        for dy in (-1, 0, 1):
+            for dz in (-1, 0, 1):
+                if (dx, dy, dz) != (0, 0, 0):
+                    shifts.append(np.array([dx, dy, dz], dtype=float) * sizes)
+    for shift in shifts:
+        shifted = pts + shift
+        near = np.all((shifted >= lo - pad) & (shifted <= hi + pad), axis=1)
+        if near.any():
+            images.append(shifted[near])
+            origins.append(np.flatnonzero(near))
+    return np.concatenate(images), np.concatenate(origins)
+
+
+def dtfe_density(
+    points: np.ndarray,
+    domain: Bounds | None = None,
+    masses: np.ndarray | None = None,
+    pad_fraction: float = 0.25,
+) -> np.ndarray:
+    """Per-particle DTFE density estimates.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 3)`` particle positions.
+    domain:
+        Periodic domain; when given, boundary particles are replicated
+        across the seams (padding ``pad_fraction`` of the box) so every
+        real particle has a complete Delaunay star.  Without a domain,
+        hull-boundary particles receive NaN (their star is incomplete).
+    masses:
+        Particle masses (default 1).
+
+    Returns
+    -------
+    numpy.ndarray
+        Density per input particle.
+    """
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2 or pts.shape[1] != 3:
+        raise ValueError(f"points must be (n, 3), got {pts.shape}")
+    n = len(pts)
+    m = np.ones(n) if masses is None else np.asarray(masses, dtype=float)
+    if len(m) != n:
+        raise ValueError("masses length mismatch")
+
+    if domain is not None:
+        pad = pad_fraction * float(domain.sizes.min())
+        all_pts, origin = _padded_periodic(wrap_positions(pts, domain), domain, pad)
+    else:
+        all_pts, origin = pts, np.arange(n)
+
+    mesh = delaunay(all_pts)
+    star = mesh.vertex_star_volumes()
+
+    # Star volume of each real particle, taken from its primary image.
+    rho = np.full(n, np.nan)
+    primary = star[:n]
+    with np.errstate(divide="ignore"):
+        rho = np.where(primary > 0, 4.0 * m / primary, np.nan)
+
+    if domain is None:
+        # Hull points have open stars; mark them invalid.
+        from scipy.spatial import ConvexHull
+
+        hull_pts = set(ConvexHull(pts).vertices.tolist())
+        rho[list(hull_pts)] = np.nan
+    return rho
+
+
+def dtfe_grid(
+    points: np.ndarray,
+    domain: Bounds,
+    grid_size: int,
+    masses: np.ndarray | None = None,
+) -> np.ndarray:
+    """DTFE field sampled on a ``grid_size^3`` mesh over ``domain``.
+
+    Linear (barycentric) interpolation of the per-particle densities inside
+    each Delaunay tetrahedron, fully vectorized: one ``find_simplex`` query
+    locates all grid points, and the barycentric weights come from the
+    stored affine transforms.
+    """
+    from scipy.spatial import Delaunay as SciDelaunay
+
+    pts = np.asarray(points, dtype=float)
+    rho = dtfe_density(pts, domain=domain, masses=masses)
+
+    pad = 0.25 * float(domain.sizes.min())
+    all_pts, origin = _padded_periodic(wrap_positions(pts, domain), domain, pad)
+    rho_all = rho[origin]
+
+    tri = SciDelaunay(all_pts)
+    lo, _ = domain.as_arrays()
+    axes = [
+        lo[a] + (np.arange(grid_size) + 0.5) * domain.sizes[a] / grid_size
+        for a in range(3)
+    ]
+    gx, gy, gz = np.meshgrid(*axes, indexing="ij")
+    q = np.column_stack([gx.ravel(), gy.ravel(), gz.ravel()])
+
+    simplex = tri.find_simplex(q)
+    if np.any(simplex < 0):
+        raise RuntimeError(
+            "grid point outside the padded triangulation; increase padding"
+        )
+    X = tri.transform[simplex]
+    b = np.einsum("ijk,ik->ij", X[:, :3], q - X[:, 3])
+    bary = np.concatenate([b, 1.0 - b.sum(axis=1, keepdims=True)], axis=1)
+    corner_rho = rho_all[tri.simplices[simplex]]
+    field = np.einsum("ij,ij->i", bary, corner_rho)
+    return field.reshape(grid_size, grid_size, grid_size)
+
+
+def voronoi_density(tess) -> tuple[np.ndarray, np.ndarray]:
+    """Per-particle density from tess cell volumes (paper §V proposal).
+
+    Returns ``(site_ids, densities)`` with ``rho = 1 / V_cell`` for every
+    complete cell — the per-particle density annotation the paper suggests
+    appending to particle outputs to guide later sampling and structure
+    detection.
+    """
+    vols = tess.volumes()
+    if np.any(vols <= 0):
+        raise ValueError("tessellation contains nonpositive cell volumes")
+    return tess.site_ids(), 1.0 / vols

@@ -1,0 +1,86 @@
+"""Continuous-field queries over a tessellation (paper §I's motivation).
+
+"Meshes are valuable representations for point data because they convert a
+sparse point cloud into a continuous field.  Such a field can be used to
+interpolate across cells, compute cell statistics, and identify features."
+This module is that continuous-field interface:
+
+* :func:`sample_cells` — piecewise-constant Voronoi sampling: any query
+  point takes the value (volume, density, or a custom per-cell array) of
+  the cell that contains it, found via a periodic nearest-site query —
+  exactly the Voronoi ownership relation;
+* :func:`deposit_to_grid` — the cell-valued field averaged onto a regular
+  mesh (one nearest-site query per mesh point), the bridge from the
+  adaptive tessellation back to grid-based pipelines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from ..core.tessellate import Tessellation
+
+__all__ = ["sample_cells", "deposit_to_grid"]
+
+
+def _site_values(tess: Tessellation, value) -> tuple[np.ndarray, np.ndarray]:
+    sites = np.concatenate([b.sites for b in tess.blocks])
+    if len(sites) == 0:
+        raise ValueError("tessellation has no cells")
+    if isinstance(value, str):
+        vols = tess.volumes()
+        if value == "volume":
+            vals = vols
+        elif value == "density":
+            vals = 1.0 / vols
+        else:
+            raise ValueError(f"unknown value {value!r} (use 'volume'/'density')")
+    else:
+        vals = np.asarray(value, dtype=float)
+        if len(vals) != len(sites):
+            raise ValueError(
+                f"custom values must have one entry per cell "
+                f"({len(sites)}), got {len(vals)}"
+            )
+    return sites, vals
+
+
+def sample_cells(
+    tess: Tessellation, points: np.ndarray, value="density"
+) -> np.ndarray:
+    """Evaluate the piecewise-constant cell field at arbitrary points.
+
+    ``value`` is ``"volume"``, ``"density"``, or an array with one entry
+    per cell (ordered block-by-block, the same order as
+    ``tess.volumes()``).  Query points may lie anywhere; they are wrapped
+    into the periodic domain.
+    """
+    pts = np.atleast_2d(np.asarray(points, dtype=float))
+    if pts.shape[1] != 3:
+        raise ValueError(f"points must be (n, 3), got {pts.shape}")
+    sites, vals = _site_values(tess, value)
+    lo, _ = tess.domain.as_arrays()
+    tree = cKDTree(sites - lo, boxsize=tess.domain.sizes)
+    sizes = tess.domain.sizes
+    q = np.mod(pts - lo, sizes)
+    _, nearest = tree.query(q)
+    return vals[nearest]
+
+
+def deposit_to_grid(
+    tess: Tessellation, grid_size: int, value="density"
+) -> np.ndarray:
+    """Sample the cell field at the centers of a ``grid_size^3`` mesh."""
+    if grid_size < 1:
+        raise ValueError(f"grid_size must be >= 1, got {grid_size}")
+    lo, _ = tess.domain.as_arrays()
+    axes = [
+        lo[a] + (np.arange(grid_size) + 0.5) * tess.domain.sizes[a] / grid_size
+        for a in range(3)
+    ]
+    gx, gy, gz = np.meshgrid(*axes, indexing="ij")
+    pts = np.column_stack([gx.ravel(), gy.ravel(), gz.ravel()])
+    return sample_cells(tess, pts, value=value).reshape(
+        grid_size, grid_size, grid_size
+    )

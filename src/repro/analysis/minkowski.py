@@ -1,0 +1,185 @@
+"""Minkowski functionals of connected components (plugin filter #4).
+
+The four basic functionals the paper computes (§III-D, citing SURFGEN
+[Sheth et al. 2002]) for each connected component of Voronoi cells:
+
+* **volume** V — sum of member cell volumes;
+* **surface area** S — area of the component's boundary surface (faces
+  whose neighbor cell is not in the component);
+* **integrated mean curvature** C — for a polyhedral surface,
+  ``C = (1/2) sum_e len_e * alpha_e`` over boundary edges, where
+  ``alpha_e`` is the signed exterior dihedral angle (positive at convex
+  edges, negative at concave ones);
+* **Euler characteristic** chi = V - E + F of the boundary surface, with
+  genus ``g = 1 - chi/2`` (per closed surface; summed over shells).
+
+From these, the Sahni-Sathyaprakash-Shandarin *shapefinders*:
+thickness ``T = 3V/S``, breadth ``B = S/C``, length ``L = C/(4 pi)``
+(all equal to R for a sphere of radius R), used to classify voids,
+filaments, and walls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.tessellate import Tessellation
+from .components import ComponentLabeling
+
+__all__ = ["MinkowskiFunctionals", "minkowski_functionals"]
+
+_KEY_DECIMALS = 8
+
+
+@dataclass(frozen=True)
+class MinkowskiFunctionals:
+    """Functionals and shapefinders of one connected component."""
+
+    label: int
+    num_cells: int
+    volume: float
+    surface_area: float
+    mean_curvature: float
+    euler_characteristic: int
+    genus: float
+    num_boundary_faces: int
+
+    @property
+    def thickness(self) -> float:
+        """Shapefinder T = 3V/S."""
+        return 3.0 * self.volume / self.surface_area if self.surface_area else np.nan
+
+    @property
+    def breadth(self) -> float:
+        """Shapefinder B = S/C (NaN when the curvature is nonpositive)."""
+        if self.mean_curvature <= 0:
+            return np.nan
+        return self.surface_area / self.mean_curvature
+
+    @property
+    def length(self) -> float:
+        """Shapefinder L = C/(4 pi)."""
+        if self.mean_curvature <= 0:
+            return np.nan
+        return self.mean_curvature / (4.0 * np.pi)
+
+    def as_row(self) -> dict[str, float]:
+        """Printable row for the plugin-style report."""
+        return {
+            "label": self.label,
+            "cells": self.num_cells,
+            "V": self.volume,
+            "S": self.surface_area,
+            "C": self.mean_curvature,
+            "chi": self.euler_characteristic,
+            "genus": self.genus,
+            "T": self.thickness,
+            "B": self.breadth,
+            "L": self.length,
+        }
+
+
+def _vkey(coord: np.ndarray) -> tuple[float, ...]:
+    return tuple(np.round(coord, _KEY_DECIMALS).tolist())
+
+
+def minkowski_functionals(
+    tess: Tessellation, labeling: ComponentLabeling
+) -> list[MinkowskiFunctionals]:
+    """Compute functionals for every component of ``labeling``.
+
+    The boundary surface is assembled across blocks by keying Voronoi
+    vertices on rounded coordinates — the same vertex appears bitwise (or
+    near-bitwise) identically in adjacent blocks.
+    """
+    label_of = labeling.label_of()
+    ncomp = labeling.num_components
+    vol = np.zeros(ncomp)
+    ncells = np.zeros(ncomp, dtype=np.int64)
+
+    # Per-component boundary surface soup.
+    faces: list[list[tuple[list[tuple[float, ...]], np.ndarray, np.ndarray]]] = [
+        [] for _ in range(ncomp)
+    ]  # (vertex keys, outward normal, face center)
+
+    for block in tess.blocks:
+        for i in range(block.num_cells):
+            sid = int(block.site_ids[i])
+            comp = label_of.get(sid)
+            if comp is None:
+                continue
+            vol[comp] += float(block.volumes[i])
+            ncells[comp] += 1
+            neighbors = block.neighbors_of_cell(i)
+            site = block.sites[i]
+            for f_local, nb in zip(block.faces_of_cell(i), neighbors):
+                nb = int(nb)
+                if nb >= 0 and label_of.get(nb) == comp:
+                    continue  # interior face
+                pts = block.vertices[f_local]
+                keys = [_vkey(p) for p in pts]
+                nxt = np.roll(pts, -1, axis=0)
+                normal = 0.5 * np.cross(pts, nxt).sum(axis=0)
+                norm = np.linalg.norm(normal)
+                if norm == 0.0:
+                    continue  # degenerate sliver face
+                normal /= norm
+                center = pts.mean(axis=0)
+                if float(normal @ (center - site)) < 0:
+                    normal = -normal
+                faces[comp].append((keys, normal, center))
+
+    out: list[MinkowskiFunctionals] = []
+    for comp in range(ncomp):
+        s_area = 0.0
+        vkeys: set[tuple[float, ...]] = set()
+        # edge -> list of (face normal, face center)
+        edges: dict[tuple, list[tuple[np.ndarray, np.ndarray]]] = {}
+        edge_len: dict[tuple, float] = {}
+        coords: dict[tuple[float, ...], np.ndarray] = {}
+
+        for keys, normal, center in faces[comp]:
+            pts = np.asarray(keys)
+            nxt = np.roll(pts, -1, axis=0)
+            area_vec = 0.5 * np.cross(pts, nxt).sum(axis=0)
+            s_area += float(np.linalg.norm(area_vec))
+            n = len(keys)
+            for a in range(n):
+                ka, kb = keys[a], keys[(a + 1) % n]
+                vkeys.add(ka)
+                coords[ka] = pts[a]
+                ekey = (ka, kb) if ka <= kb else (kb, ka)
+                edges.setdefault(ekey, []).append((normal, center))
+                edge_len[ekey] = float(
+                    np.linalg.norm(np.asarray(ka) - np.asarray(kb))
+                )
+
+        curvature = 0.0
+        for ekey, shared in edges.items():
+            if len(shared) != 2:
+                continue  # non-manifold contact; no well-defined dihedral
+            (n1, c1), (n2, c2) = shared
+            cosang = float(np.clip(n1 @ n2, -1.0, 1.0))
+            ang = float(np.arccos(cosang))
+            mid = 0.5 * (np.asarray(ekey[0]) + np.asarray(ekey[1]))
+            # Convex edge: the other face's center lies below this face's
+            # plane (material bulges outward).
+            convex = float(n1 @ (c2 - mid)) < 0.0
+            curvature += 0.5 * edge_len[ekey] * (ang if convex else -ang)
+
+        chi = len(vkeys) - len(edges) + len(faces[comp])
+        out.append(
+            MinkowskiFunctionals(
+                label=comp,
+                num_cells=int(ncells[comp]),
+                volume=float(vol[comp]),
+                surface_area=s_area,
+                mean_curvature=curvature,
+                euler_characteristic=int(chi),
+                genus=1.0 - chi / 2.0,
+                num_boundary_faces=len(faces[comp]),
+            )
+        )
+    return out

@@ -1,0 +1,105 @@
+"""Percolation statistics of the thresholded cell network (paper §III-D).
+
+The paper lists "to study percolation theory" among the uses of the
+Minkowski/component machinery: as the volume threshold rises, the void
+network fragments, and the threshold at which the largest component stops
+spanning the sample is the percolation transition — a cosmological
+discriminant between models (Shandarin's excursion-set program, the
+paper's [22]).
+
+:func:`percolation_curve` sweeps a threshold range and reports, per
+threshold, the kept-cell count, component count, and largest-component
+fraction; :func:`percolation_threshold` locates the transition where the
+largest component first drops below half the kept cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.tessellate import Tessellation
+from .components import connected_components
+
+__all__ = ["PercolationPoint", "percolation_curve", "percolation_threshold"]
+
+
+@dataclass(frozen=True)
+class PercolationPoint:
+    """Network state at one volume threshold."""
+
+    vmin: float
+    kept_cells: int
+    num_components: int
+    largest_fraction: float  # largest component / kept cells (0 if none)
+
+    @property
+    def percolates(self) -> bool:
+        """Heuristic spanning test: one component dominates a kept set of
+        meaningful size.  Tiny surviving populations (a handful of cells in
+        one component) do not count as a spanning network."""
+        return self.kept_cells >= 10 and self.largest_fraction >= 0.5
+
+
+def percolation_curve(
+    tess: Tessellation, thresholds: np.ndarray | list[float]
+) -> list[PercolationPoint]:
+    """Evaluate the component structure across volume thresholds."""
+    out: list[PercolationPoint] = []
+    for vmin in np.asarray(thresholds, dtype=float):
+        lab = connected_components(tess, vmin=float(vmin))
+        kept = len(lab.site_ids)
+        if kept == 0:
+            out.append(PercolationPoint(float(vmin), 0, 0, 0.0))
+            continue
+        sizes = lab.sizes()
+        out.append(
+            PercolationPoint(
+                vmin=float(vmin),
+                kept_cells=kept,
+                num_components=lab.num_components,
+                largest_fraction=float(sizes.max()) / kept,
+            )
+        )
+    return out
+
+
+def percolation_threshold(
+    tess: Tessellation,
+    n_steps: int = 24,
+    refine_iterations: int = 5,
+) -> float:
+    """Locate the volume threshold where the void network fragments.
+
+    Coarse sweep over the volume range followed by bisection on the
+    largest-fraction-crosses-1/2 criterion.  Returns the threshold (same
+    units as cell volumes); if the network never percolates even at zero
+    threshold the volume minimum is returned, and if it always percolates
+    the maximum is returned.
+    """
+    v = tess.volumes()
+    if len(v) == 0:
+        raise ValueError("tessellation has no cells")
+    lo, hi = float(v.min()), float(v.max())
+    sweep = np.linspace(lo, hi, n_steps)
+    curve = percolation_curve(tess, sweep)
+    if not curve[0].percolates:
+        return lo
+    # First crossing: the percolation indicator can flicker in the sparse
+    # tail, so bracket at the first percolating -> fragmented transition.
+    a = b = None
+    for prev, nxt in zip(curve[:-1], curve[1:]):
+        if prev.percolates and not nxt.percolates:
+            a, b = prev.vmin, nxt.vmin
+            break
+    if a is None:
+        return hi
+    for _ in range(refine_iterations):
+        mid = 0.5 * (a + b)
+        point = percolation_curve(tess, [mid])[0]
+        if point.percolates:
+            a = mid
+        else:
+            b = mid
+    return 0.5 * (a + b)

@@ -1,0 +1,121 @@
+"""Minimal slice rendering — the visualization stand-in for Figures 1/7.
+
+The paper views tessellations in ParaView; offline, the closest useful
+artifact is a raster slice: sample a plane through the tessellation (each
+pixel takes the value of the cell owning the nearest site, e.g. its volume
+or component label) and write it as ASCII art or a binary PGM image.  Used
+by examples and by the documentation to eyeball void structure without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from ..core.tessellate import Tessellation
+
+__all__ = ["slice_field", "ascii_render", "write_pgm"]
+
+
+def slice_field(
+    tess: Tessellation,
+    axis: int = 2,
+    coordinate: float | None = None,
+    resolution: int = 64,
+    value: str = "volume",
+    labeling=None,
+) -> np.ndarray:
+    """Sample a planar slice of the tessellation.
+
+    Each pixel is assigned the cell of its nearest site (exactly the
+    Voronoi ownership relation), carrying that cell's ``value``:
+
+    * ``"volume"`` — cell volume;
+    * ``"density"`` — 1 / volume;
+    * ``"component"`` — component label from ``labeling`` (pixels of
+      unlabeled cells get -1).
+
+    Returns a ``(resolution, resolution)`` float array.
+    """
+    if value not in ("volume", "density", "component"):
+        raise ValueError(f"unknown value {value!r}")
+    if value == "component" and labeling is None:
+        raise ValueError("component rendering requires a labeling")
+    if not 0 <= axis <= 2:
+        raise ValueError(f"axis must be 0..2, got {axis}")
+
+    sites = np.concatenate([b.sites for b in tess.blocks])
+    ids = np.concatenate([b.site_ids for b in tess.blocks])
+    vols = tess.volumes()
+    if len(sites) == 0:
+        raise ValueError("tessellation has no cells")
+
+    lo, hi = tess.domain.as_arrays()
+    coordinate = float(tess.domain.center[axis]) if coordinate is None else coordinate
+    other = [a for a in range(3) if a != axis]
+
+    u = np.linspace(lo[other[0]], hi[other[0]], resolution, endpoint=False)
+    v = np.linspace(lo[other[1]], hi[other[1]], resolution, endpoint=False)
+    gu, gv = np.meshgrid(u, v, indexing="ij")
+    pts = np.empty((resolution * resolution, 3))
+    pts[:, other[0]] = gu.ravel()
+    pts[:, other[1]] = gv.ravel()
+    pts[:, axis] = coordinate
+
+    tree = cKDTree(sites - lo, boxsize=tess.domain.sizes)
+    _, nearest = tree.query(pts - lo)
+
+    if value == "volume":
+        out = vols[nearest]
+    elif value == "density":
+        out = 1.0 / vols[nearest]
+    else:
+        label_of = labeling.label_of()
+        out = np.asarray(
+            [label_of.get(int(ids[i]), -1) for i in nearest], dtype=float
+        )
+    return out.reshape(resolution, resolution)
+
+
+_RAMP = " .:-=+*#%@"
+
+
+def ascii_render(field: np.ndarray, log_scale: bool = True) -> str:
+    """Render a 2D field as ASCII art (dark = low, dense glyph = high)."""
+    f = np.asarray(field, dtype=float)
+    if f.ndim != 2:
+        raise ValueError("ascii_render needs a 2D field")
+    vals = f.copy()
+    if log_scale:
+        positive = vals[vals > 0]
+        floor = positive.min() if len(positive) else 1.0
+        vals = np.log10(np.maximum(vals, floor))
+    vmin, vmax = float(vals.min()), float(vals.max())
+    if vmax == vmin:
+        idx = np.zeros_like(vals, dtype=int)
+    else:
+        idx = ((vals - vmin) / (vmax - vmin) * (len(_RAMP) - 1)).astype(int)
+    return "\n".join("".join(_RAMP[i] for i in row) for row in idx)
+
+
+def write_pgm(path: str, field: np.ndarray, log_scale: bool = True) -> None:
+    """Write a 2D field as an 8-bit binary PGM image."""
+    f = np.asarray(field, dtype=float)
+    if f.ndim != 2:
+        raise ValueError("write_pgm needs a 2D field")
+    vals = f.copy()
+    if log_scale:
+        positive = vals[vals > 0]
+        floor = positive.min() if len(positive) else 1.0
+        vals = np.log10(np.maximum(vals, floor))
+    vmin, vmax = float(vals.min()), float(vals.max())
+    scaled = (
+        np.zeros_like(vals)
+        if vmax == vmin
+        else (vals - vmin) / (vmax - vmin) * 255.0
+    )
+    img = scaled.astype(np.uint8)
+    with open(path, "wb") as fh:
+        fh.write(f"P5\n{img.shape[1]} {img.shape[0]}\n255\n".encode())
+        fh.write(img.tobytes())

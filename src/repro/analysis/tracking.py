@@ -1,0 +1,200 @@
+"""Temporal tracking of connected components across time steps.
+
+Paper §V: "We will also look to tracking temporal evolution of connected
+components by using the feature tree method of Chen et al."  A feature
+tree links features (here: voids) between consecutive tessellation outputs
+by *overlap* — two components at successive steps correspond when they
+share member cells.  Because tess cells are keyed by global particle ids,
+overlap is exact set intersection: no geometric matching is needed.
+
+The tracker classifies every transition between steps as continuation,
+merge, split, birth, or death, and assembles per-void *tracks* through
+time (following the largest-overlap parent/child at merges and splits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .components import ComponentLabeling
+
+__all__ = ["FeatureEvent", "FeatureTrack", "FeatureTree", "track_components"]
+
+
+@dataclass(frozen=True)
+class FeatureEvent:
+    """One labeled transition between consecutive steps."""
+
+    kind: str  # "continuation" | "merge" | "split" | "birth" | "death"
+    step_from: int | None
+    step_to: int | None
+    labels_from: tuple[int, ...]
+    labels_to: tuple[int, ...]
+    shared_cells: int
+
+
+@dataclass
+class FeatureTrack:
+    """A single feature followed through time (largest-overlap chain)."""
+
+    steps: list[int] = field(default_factory=list)
+    labels: list[int] = field(default_factory=list)
+    sizes: list[int] = field(default_factory=list)
+
+    @property
+    def lifetime(self) -> int:
+        """Number of steps the feature persists."""
+        return len(self.steps)
+
+
+@dataclass
+class FeatureTree:
+    """All events and tracks across a sequence of labelings."""
+
+    steps: list[int]
+    events: list[FeatureEvent]
+    tracks: list[FeatureTrack]
+
+    def events_at(self, step_to: int) -> list[FeatureEvent]:
+        """Events arriving at a given step."""
+        return [e for e in self.events if e.step_to == step_to]
+
+    def counts(self) -> dict[str, int]:
+        """Event counts by kind."""
+        out: dict[str, int] = {}
+        for e in self.events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out
+
+
+def _overlap_matrix(
+    a: ComponentLabeling, b: ComponentLabeling
+) -> dict[tuple[int, int], int]:
+    """Shared-cell counts between components of two labelings."""
+    bmap = b.label_of()
+    out: dict[tuple[int, int], int] = {}
+    for sid, la in zip(a.site_ids.tolist(), a.labels.tolist()):
+        lb = bmap.get(sid)
+        if lb is not None:
+            key = (int(la), int(lb))
+            out[key] = out.get(key, 0) + 1
+    return out
+
+
+def track_components(
+    labelings: dict[int, ComponentLabeling],
+    min_overlap: int = 1,
+) -> FeatureTree:
+    """Build the feature tree over labelings keyed by step index.
+
+    Parameters
+    ----------
+    labelings:
+        Step -> component labeling (e.g. voids at each output step).
+    min_overlap:
+        Minimum shared cells for two components to be considered linked.
+    """
+    steps = sorted(labelings)
+    if not steps:
+        raise ValueError("no labelings supplied")
+    events: list[FeatureEvent] = []
+
+    # Track bookkeeping: active tracks keyed by (step, label) of their head.
+    tracks: list[FeatureTrack] = []
+    head: dict[int, FeatureTrack] = {}  # label at current step -> track
+
+    first = labelings[steps[0]]
+    for label in range(first.num_components):
+        t = FeatureTrack(
+            steps=[steps[0]], labels=[label], sizes=[int(first.sizes()[label])]
+        )
+        tracks.append(t)
+        head[label] = t
+
+    for prev_step, next_step in zip(steps[:-1], steps[1:]):
+        a, b = labelings[prev_step], labelings[next_step]
+        overlap = {
+            k: v for k, v in _overlap_matrix(a, b).items() if v >= min_overlap
+        }
+        children: dict[int, list[tuple[int, int]]] = {}
+        parents: dict[int, list[tuple[int, int]]] = {}
+        for (la, lb), n in overlap.items():
+            children.setdefault(la, []).append((lb, n))
+            parents.setdefault(lb, []).append((la, n))
+
+        # Events.
+        for la in range(a.num_components):
+            kids = children.get(la, [])
+            if not kids:
+                events.append(
+                    FeatureEvent("death", prev_step, next_step, (la,), (), 0)
+                )
+            elif len(kids) > 1:
+                events.append(
+                    FeatureEvent(
+                        "split",
+                        prev_step,
+                        next_step,
+                        (la,),
+                        tuple(sorted(l for l, _ in kids)),
+                        sum(n for _, n in kids),
+                    )
+                )
+        for lb in range(b.num_components):
+            pars = parents.get(lb, [])
+            if not pars:
+                events.append(
+                    FeatureEvent("birth", prev_step, next_step, (), (lb,), 0)
+                )
+            elif len(pars) > 1:
+                events.append(
+                    FeatureEvent(
+                        "merge",
+                        prev_step,
+                        next_step,
+                        tuple(sorted(l for l, _ in pars)),
+                        (lb,),
+                        sum(n for _, n in pars),
+                    )
+                )
+            elif len(pars) == 1 and len(children.get(pars[0][0], [])) == 1:
+                events.append(
+                    FeatureEvent(
+                        "continuation",
+                        prev_step,
+                        next_step,
+                        (pars[0][0],),
+                        (lb,),
+                        pars[0][1],
+                    )
+                )
+
+        # Extend tracks along the largest-overlap child of each head.
+        new_head: dict[int, FeatureTrack] = {}
+        sizes_b = b.sizes()
+        claimed: set[int] = set()
+        for la, track in head.items():
+            kids = children.get(la, [])
+            if not kids:
+                continue  # track dies
+            lb = max(kids, key=lambda kn: kn[1])[0]
+            if lb in claimed:
+                continue  # another parent claimed it (merge loser)
+            claimed.add(lb)
+            track.steps.append(next_step)
+            track.labels.append(lb)
+            track.sizes.append(int(sizes_b[lb]))
+            new_head[lb] = track
+        # Births (and merge losers' children) start fresh tracks.
+        for lb in range(b.num_components):
+            if lb not in new_head:
+                t = FeatureTrack(
+                    steps=[next_step], labels=[lb], sizes=[int(sizes_b[lb])]
+                )
+                tracks.append(t)
+                new_head[lb] = t
+        head = new_head
+
+    return FeatureTree(steps=steps, events=events, tracks=tracks)

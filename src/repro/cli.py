@@ -1,0 +1,172 @@
+"""Command-line interface: standalone tess runs and coupled simulations.
+
+Mirrors the paper's two operating modes as console commands:
+
+``repro-tess``
+    Standalone mode — tessellate a point set from a ``.npy`` file (or a
+    generated test cloud), write the blocked tess file, and print summary
+    statistics.  The Python equivalent of Qhull's command-line programs
+    wrapped in tess's parallel driver.
+
+``repro-sim``
+    In situ mode — run the HACC-style simulation with analysis tools from
+    a JSON input deck (simulation parameters plus the framework's tools
+    section, as in paper Figure 4's configuration file).
+
+Both are also importable (:func:`tess_main`, :func:`sim_main`) and
+installed as console scripts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+__all__ = ["tess_main", "sim_main"]
+
+
+def _build_tess_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-tess",
+        description="Standalone parallel Voronoi tessellation (tess).",
+    )
+    p.add_argument("points", nargs="?", help=".npy file of (n, 3) positions")
+    p.add_argument("--random", type=int, default=None, metavar="N",
+                   help="generate N random points instead of reading a file")
+    p.add_argument("--box", type=float, default=None,
+                   help="periodic box side (default: max coordinate, rounded up)")
+    p.add_argument("--blocks", type=int, default=1, help="block/rank count")
+    p.add_argument("--ghost", type=float, default=None,
+                   help="ghost-zone size (default: 4 mean spacings)")
+    p.add_argument("--backend", choices=("qhull", "clip"), default="qhull")
+    p.add_argument("--vmin", type=float, default=None, help="minimum cell volume")
+    p.add_argument("--vmax", type=float, default=None, help="maximum cell volume")
+    p.add_argument("--no-periodic", action="store_true",
+                   help="treat the domain as bounded (boundary cells deleted)")
+    p.add_argument("-o", "--output", default=None, help="tess output file")
+    p.add_argument("--seed", type=int, default=0, help="seed for --random")
+    return p
+
+
+def tess_main(argv: list[str] | None = None) -> int:
+    """Entry point for ``repro-tess``; returns a process exit code."""
+    args = _build_tess_parser().parse_args(argv)
+
+    from .diy.bounds import Bounds
+    from .core import tessellate
+
+    if (args.points is None) == (args.random is None):
+        print("error: supply exactly one of POINTS or --random N", file=sys.stderr)
+        return 2
+    if args.random is not None:
+        rng = np.random.default_rng(args.seed)
+        box = args.box or 16.0
+        points = rng.uniform(0.0, box, size=(args.random, 3))
+    else:
+        points = np.load(args.points)
+        if points.ndim != 2 or points.shape[1] != 3:
+            print(f"error: {args.points} is not an (n, 3) array", file=sys.stderr)
+            return 2
+        box = args.box or float(np.ceil(points.max() + 1e-9))
+
+    domain = Bounds.cube(box)
+    tess = tessellate(
+        points,
+        domain,
+        nblocks=args.blocks,
+        ghost=args.ghost,
+        periodic=not args.no_periodic,
+        backend=args.backend,
+        vmin=args.vmin,
+        vmax=args.vmax,
+        output_path=args.output,
+    )
+    vols = tess.volumes()
+    print(f"points:        {len(points)}")
+    print(f"blocks:        {tess.num_blocks}")
+    print(f"cells kept:    {tess.num_cells}")
+    if tess.num_cells:
+        print(f"volume range:  [{vols.min():.6g}, {vols.max():.6g}]")
+        print(f"total volume:  {tess.total_volume():.6g} (box {domain.volume:.6g})")
+    t = tess.timings
+    print(
+        f"cpu seconds:   exchange {t.exchange_cpu:.4f}  compute "
+        f"{t.compute_cpu:.3f}  output {t.output_cpu:.4f}"
+    )
+    if args.output:
+        print(f"wrote:         {args.output} ({tess.output_bytes} bytes)")
+    return 0
+
+
+def _build_sim_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="Run the N-body simulation with in situ analysis tools.",
+    )
+    p.add_argument("deck", help="JSON input deck (simulation + tools sections)")
+    p.add_argument("--ranks", type=int, default=1, help="rank-thread count")
+    return p
+
+
+def sim_main(argv: list[str] | None = None) -> int:
+    """Entry point for ``repro-sim``; returns a process exit code."""
+    args = _build_sim_parser().parse_args(argv)
+
+    from .hacc import SimulationConfig
+    from .insitu import run_simulation_with_tools
+
+    with open(args.deck) as f:
+        deck = json.load(f)
+    sim_spec = deck.get("simulation", {})
+    tools_spec = {"tools": deck.get("tools", [])}
+    if not tools_spec["tools"]:
+        print("error: deck has no 'tools' section", file=sys.stderr)
+        return 2
+
+    known = {f.name for f in SimulationConfig.__dataclass_fields__.values()}  # type: ignore[attr-defined]
+    extra = set(sim_spec) - known
+    if extra:
+        print(f"error: unknown simulation keys {sorted(extra)}", file=sys.stderr)
+        return 2
+    cfg = SimulationConfig(**sim_spec)
+
+    print(
+        f"simulating {cfg.np_side}^3 particles, {cfg.nsteps} steps, "
+        f"{args.ranks} rank(s)..."
+    )
+    results = run_simulation_with_tools(cfg, tools_spec, nranks=args.ranks)
+    for tool, per_step in results.items():
+        for step, result in sorted(per_step.items()):
+            print(f"[{tool} @ step {step}] {_describe(result)}")
+    return 0
+
+
+def _describe(result) -> str:
+    from .analysis.halos import HaloCatalog
+    from .analysis.statistics import Histogram
+    from .analysis.voids import VoidCatalog
+    from .core.tessellate import Tessellation
+
+    if isinstance(result, Tessellation):
+        return f"{result.num_cells} cells, total volume {result.total_volume():.4g}"
+    if isinstance(result, HaloCatalog):
+        masses = result.masses()
+        top = masses[:3].tolist() if result.num_halos else []
+        return f"{result.num_halos} halos, largest {top}"
+    if isinstance(result, VoidCatalog):
+        return f"{result.num_voids} voids at vmin={result.vmin:.4g}"
+    if isinstance(result, Histogram):
+        return (
+            f"histogram n={result.n_samples} skew={result.skewness:.2f} "
+            f"kurt={result.kurtosis:.2f}"
+        )
+    if isinstance(result, dict):
+        return "{" + ", ".join(f"{k}: {_describe(v)}" for k, v in result.items()) + "}"
+    return repr(result)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(tess_main())

@@ -1,0 +1,79 @@
+"""tess — the paper's contribution: a parallel Voronoi tessellation library.
+
+Standalone mode::
+
+    from repro.core import tessellate
+    tess = tessellate(points, domain, nblocks=8, ghost=4.0)
+
+In situ mode (inside an SPMD region, with distributed particles)::
+
+    block, timings, nbytes = tessellate_distributed(
+        comm, decomposition, positions, ids, ghost=4.0, output_path="t.tess")
+"""
+
+from .accuracy import MatchResult, match_tessellations
+from .auto_ghost import (
+    AutoGhostResult,
+    certify_block,
+    tessellate_auto,
+    tessellate_auto_distributed,
+)
+from .cell import VoronoiCell
+from .compact import compact_decode, compact_encode
+from .culling import (
+    early_cull_mask,
+    exact_cull_mask,
+    passes_early_cull,
+    sphere_diameter_for_volume,
+)
+from .data_model import BlockSizeReport, VoronoiBlock
+from .delaunay_mode import (
+    DelaunayBlock,
+    DistributedDelaunay,
+    delaunay_distributed,
+    tessellate_delaunay,
+)
+from .ghost import exchange_ghost_particles, exchange_ghost_particles_multi
+from .hull_mode import convex_hull_distributed, convex_hull_parallel
+from .tess_io import read_tessellation, write_tessellation
+from .tessellate import (
+    Tessellation,
+    tessellate,
+    tessellate_block,
+    tessellate_distributed,
+)
+from .timing import PhaseTimer, TessTimings
+
+__all__ = [
+    "MatchResult",
+    "match_tessellations",
+    "AutoGhostResult",
+    "certify_block",
+    "tessellate_auto",
+    "tessellate_auto_distributed",
+    "VoronoiCell",
+    "compact_encode",
+    "compact_decode",
+    "early_cull_mask",
+    "exact_cull_mask",
+    "passes_early_cull",
+    "sphere_diameter_for_volume",
+    "BlockSizeReport",
+    "VoronoiBlock",
+    "DelaunayBlock",
+    "DistributedDelaunay",
+    "delaunay_distributed",
+    "tessellate_delaunay",
+    "exchange_ghost_particles",
+    "exchange_ghost_particles_multi",
+    "convex_hull_distributed",
+    "convex_hull_parallel",
+    "read_tessellation",
+    "write_tessellation",
+    "Tessellation",
+    "tessellate",
+    "tessellate_block",
+    "tessellate_distributed",
+    "PhaseTimer",
+    "TessTimings",
+]

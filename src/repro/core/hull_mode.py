@@ -1,0 +1,80 @@
+"""Distributed convex hull — the third §I computational-geometry mode.
+
+Paper §I names convex hulls alongside Voronoi and Delaunay tessellations
+as problems the same parallelization strategy serves; §II-B reviews the
+parallel convex-hull literature (Miller & Stout; Dehne et al.'s
+coarse-grained 3D algorithm with O(n log n) local computation and one
+communication phase).  The implementation here is exactly that
+coarse-grained scheme:
+
+1. every rank computes the hull of its local points (serial Quickhull —
+   the mature local kernel, as tess always does);
+2. only the local hull's *vertices* — the candidate set, typically
+   O(n^(2/3)) of the input — are gathered;
+3. the root computes the hull of the candidates and broadcasts it.
+
+Correctness rests on the classic observation that a global hull vertex
+must be a vertex of its owning rank's local hull.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..diy.comm import Communicator, run_parallel
+from ..geometry.convex_hull import Hull, convex_hull
+
+__all__ = ["convex_hull_distributed", "convex_hull_parallel"]
+
+
+def convex_hull_distributed(
+    comm: Communicator,
+    positions: np.ndarray,
+    backend: str = "native",
+) -> Hull:
+    """SPMD convex hull over distributed points (collective).
+
+    Every rank passes its local points and receives the global hull, whose
+    ``points`` array holds the gathered candidate points (so ``vertices``
+    and ``simplices`` index into it consistently on every rank).
+
+    Ranks with fewer than 4 points (or degenerate local sets) contribute
+    all their points as candidates — they may still host global vertices.
+    """
+    pts = np.atleast_2d(np.asarray(positions, dtype=float))
+    if pts.size and pts.shape[1] != 3:
+        raise ValueError(f"positions must be (n, 3), got {pts.shape}")
+
+    if len(pts) >= 4:
+        try:
+            local = convex_hull(pts, backend=backend)
+            candidates = pts[local.vertices]
+        except ValueError:  # degenerate local cloud: keep everything
+            candidates = pts
+    else:
+        candidates = pts
+
+    gathered = comm.gather(candidates, root=0)
+    if comm.rank == 0:
+        allpts = np.concatenate([g for g in gathered if len(g)])
+        if len(allpts) < 4:
+            raise ValueError("fewer than 4 points in total; hull is degenerate")
+        hull = convex_hull(allpts, backend=backend)
+    else:
+        hull = None
+    return comm.bcast(hull, root=0)
+
+
+def convex_hull_parallel(
+    points: np.ndarray, nranks: int = 1, backend: str = "native"
+) -> Hull:
+    """Standalone driver: scatter points block-cyclically, hull in parallel."""
+    pts = np.atleast_2d(np.asarray(points, dtype=float))
+    if pts.shape[1] != 3:
+        raise ValueError(f"points must be (n, 3), got {pts.shape}")
+
+    def worker(comm: Communicator) -> Hull:
+        mine = pts[comm.rank :: comm.size]
+        return convex_hull_distributed(comm, mine, backend=backend)
+
+    return run_parallel(nranks, worker)[0]

@@ -1,0 +1,86 @@
+"""tess file I/O: parallel write, full or subset read (paper §III-C2).
+
+One tessellation is one DIY block file (see :mod:`repro.diy.mpi_io`): every
+rank writes its :class:`~repro.core.data_model.VoronoiBlock` payload at an
+exclusive-scan offset, and the footer indexes blocks by gid.  Each block's
+payload also records the global domain so a reader needs nothing else.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..diy.bounds import Bounds
+from ..diy.comm import Communicator, run_parallel
+from ..diy.decomposition import Decomposition
+from ..diy.mpi_io import BlockFileReader, pack_arrays, unpack_arrays, write_blocks
+from .data_model import VoronoiBlock
+from .timing import TessTimings
+
+__all__ = [
+    "write_tessellation",
+    "write_tessellation_serial",
+    "read_tessellation",
+    "read_blocks",
+]
+
+
+def _payload(block: VoronoiBlock, domain: Bounds) -> bytes:
+    arrays = block.to_arrays()
+    lo, hi = domain.as_arrays()
+    arrays["domain"] = np.stack([lo, hi])
+    return pack_arrays(arrays)
+
+
+def _block_from_payload(blob: bytes) -> tuple[VoronoiBlock, Bounds]:
+    arrays = unpack_arrays(blob)
+    dom = arrays.pop("domain")
+    return VoronoiBlock.from_arrays(arrays), Bounds.from_arrays(dom[0], dom[1])
+
+
+def write_tessellation(
+    path: str,
+    comm: Communicator,
+    block: VoronoiBlock,
+    decomposition: Decomposition,
+) -> int:
+    """Collective write of one block per rank; returns total file bytes."""
+    blob = _payload(block, decomposition.domain)
+    return write_blocks(
+        path, comm, [(block.gid, blob)], nblocks_total=decomposition.nblocks
+    )
+
+
+def write_tessellation_serial(path: str, tess) -> int:
+    """Write an assembled :class:`Tessellation` from a single caller."""
+
+    def worker(comm: Communicator) -> int:
+        blobs = [(b.gid, _payload(b, tess.domain)) for b in tess.blocks]
+        return write_blocks(path, comm, blobs, nblocks_total=len(tess.blocks))
+
+    return run_parallel(1, worker)[0]
+
+
+def read_blocks(
+    path: str, gids: list[int] | None = None
+) -> tuple[list[VoronoiBlock], Bounds]:
+    """Read selected blocks (default: all) and the recorded domain."""
+    with BlockFileReader(path) as reader:
+        wanted = list(range(reader.nblocks)) if gids is None else list(gids)
+        blocks: list[VoronoiBlock] = []
+        domain: Bounds | None = None
+        for gid in wanted:
+            block, dom = _block_from_payload(reader.read_block(gid))
+            blocks.append(block)
+            domain = dom
+    if domain is None:
+        raise ValueError(f"{path}: no blocks requested")
+    return blocks, domain
+
+
+def read_tessellation(path: str):
+    """Read a whole tess file back into a :class:`Tessellation`."""
+    from .tessellate import Tessellation
+
+    blocks, domain = read_blocks(path)
+    return Tessellation(domain=domain, blocks=blocks, timings=TessTimings())

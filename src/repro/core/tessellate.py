@@ -1,0 +1,466 @@
+"""The parallel Voronoi tessellation — tess's main algorithm (paper Fig. 5).
+
+The pipeline, per block:
+
+1. exchange particles within the ghost-zone distance with (periodic)
+   neighbors, bidirectionally (:mod:`repro.core.ghost`);
+2. compute local Voronoi cells over owned + ghost particles, for owned
+   sites only (which *is* the paper's duplicate resolution: each process
+   keeps the cells sited at its original particles);
+3. delete incomplete cells, early-cull cells provably below the volume
+   threshold, order vertices into faces and compute exact volume and
+   surface area, cull exactly;
+4. optionally write all blocks to a single file in parallel.
+
+Two entry points: :func:`tessellate_distributed` is the SPMD primitive used
+in situ (call it from inside a parallel region with live particles);
+:func:`tessellate` is the standalone mode, which decomposes a global point
+set, launches the parallel region, and gathers a :class:`Tessellation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from ..diy.bounds import Bounds
+from ..diy.comm import Communicator, run_parallel
+from ..diy.decomposition import Decomposition
+from ..geometry.voronoi_cells import voronoi_cells_clip
+from ..geometry.voronoi_qhull import voronoi_cells_qhull
+from .cell import VoronoiCell
+from .culling import exact_cull_mask, passes_early_cull
+from .data_model import VoronoiBlock
+from .ghost import exchange_ghost_particles
+from .timing import PhaseTimer, TessTimings
+
+__all__ = ["tessellate_block", "tessellate_distributed", "tessellate", "Tessellation"]
+
+_BACKENDS = {"clip": voronoi_cells_clip, "qhull": voronoi_cells_qhull}
+
+
+def _tessellate_block_flat(
+    owned_positions: np.ndarray,
+    owned_ids: np.ndarray,
+    ghost_positions: np.ndarray,
+    ghost_ids: np.ndarray,
+    container: Bounds,
+    gid: int,
+    extents: Bounds,
+    vmin: float | None,
+    vmax: float | None,
+) -> VoronoiBlock:
+    """Vectorized block tessellation (production Qhull path).
+
+    Semantically identical to :func:`tessellate_block` + ``from_cells`` for
+    the qhull backend: the early conservative cull is subsumed by the exact
+    cull (any cell it would remove fails the exact threshold too), and the
+    block vertex pool comes directly from Qhull's global pool, already
+    deduplicated.
+    """
+    from ..geometry.voronoi_flat import FlatVoronoi
+
+    n_owned = len(owned_positions)
+    all_points = (
+        np.concatenate([owned_positions, np.atleast_2d(ghost_positions)])
+        if len(ghost_positions)
+        else owned_positions
+    )
+    local_to_global = np.concatenate(
+        [np.asarray(owned_ids, dtype=np.int64), np.asarray(ghost_ids, dtype=np.int64)]
+    )
+    fv = FlatVoronoi(all_points, container)
+
+    keep = fv.complete[:n_owned].copy()
+    if vmin is not None:
+        keep &= fv.volumes[:n_owned] >= vmin
+    if vmax is not None:
+        keep &= fv.volumes[:n_owned] <= vmax
+    kept = np.flatnonzero(keep)
+    if len(kept) == 0:
+        return VoronoiBlock.from_cells(gid, extents, [])
+
+    # Ridge ids around each kept cell, concatenated in cell order.
+    counts = (
+        fv.cell_ridges_offsets[kept + 1] - fv.cell_ridges_offsets[kept]
+    ).astype(np.int64)
+    gather = _segment_gather(fv.cell_ridges_offsets[kept], counts)
+    rids = fv.cell_ridges_flat[gather]
+    cell_of_face = np.repeat(kept, counts)
+
+    # Face cycles: concatenate each ridge's ordered vertex cycle.
+    face_lengths = (fv.ridge_offsets[rids + 1] - fv.ridge_offsets[rids]).astype(
+        np.int64
+    )
+    vgather = _segment_gather(fv.ridge_offsets[rids], face_lengths)
+    face_vertices_global = fv.ridge_flat[vgather]
+
+    # Neighbor site across each face, lifted to global particle ids.
+    pair = fv.ridge_sites[rids]
+    other = np.where(pair[:, 0] == cell_of_face, pair[:, 1], pair[:, 0])
+    face_neighbors = local_to_global[other]
+
+    # Compact the vertex pool to the vertices actually used.
+    used = np.unique(face_vertices_global)
+    face_vertices = np.searchsorted(used, face_vertices_global).astype(np.int32)
+
+    face_offsets = np.concatenate([[0], np.cumsum(face_lengths)]).astype(np.int32)
+    cell_face_offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.int32)
+
+    return VoronoiBlock(
+        gid=gid,
+        extents=extents,
+        vertices=fv.vertices[used],
+        face_vertices=face_vertices,
+        face_offsets=face_offsets,
+        face_neighbors=face_neighbors.astype(np.int64),
+        cell_face_offsets=cell_face_offsets,
+        sites=all_points[kept],
+        site_ids=local_to_global[kept],
+        volumes=fv.volumes[kept],
+        areas=fv.areas[kept],
+    )
+
+
+def _segment_gather(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Indices gathering CSR segments ``[starts[i], starts[i]+lengths[i])``."""
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    out_starts = np.concatenate([[0], np.cumsum(lengths[:-1])])
+    return (
+        np.repeat(starts, lengths)
+        + np.arange(total)
+        - np.repeat(out_starts, lengths)
+    )
+
+
+def tessellate_block(
+    owned_positions: np.ndarray,
+    owned_ids: np.ndarray,
+    ghost_positions: np.ndarray,
+    ghost_ids: np.ndarray,
+    container: Bounds,
+    backend: str = "clip",
+    vmin: float | None = None,
+    vmax: float | None = None,
+) -> list[VoronoiCell]:
+    """Local tessellation of one block (steps 2-3 of the pipeline).
+
+    ``container`` is the block's ghost-grown bounds; cells that touch it are
+    incomplete and deleted.  Returns complete cells within the volume
+    thresholds, with *global* neighbor ids.
+    """
+    if backend not in _BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; choose from {sorted(_BACKENDS)}")
+    owned_positions = np.atleast_2d(np.asarray(owned_positions, dtype=float))
+    n_owned = len(owned_positions)
+    if n_owned == 0:
+        return []
+    all_points = (
+        np.concatenate([owned_positions, np.atleast_2d(ghost_positions)])
+        if len(ghost_positions)
+        else owned_positions
+    )
+    local_to_global = np.concatenate(
+        [np.asarray(owned_ids, dtype=np.int64), np.asarray(ghost_ids, dtype=np.int64)]
+    )
+
+    geoms = _BACKENDS[backend](all_points, container, sites=np.arange(n_owned))
+
+    cells: list[VoronoiCell] = []
+    for geom in geoms:
+        if not geom.complete or geom.polyhedron is None:
+            continue  # step 3b: delete incomplete cells
+        # Step 3c: conservative early cull before the exact metrics.
+        if not passes_early_cull(
+            geom.polyhedron.max_pairwise_vertex_distance(), vmin
+        ):
+            continue
+        cell = VoronoiCell.from_geometry(
+            geom,
+            site_position=all_points[geom.site],
+            local_to_global=local_to_global,
+            global_site_id=int(local_to_global[geom.site]),
+        )
+        cells.append(cell)
+
+    # Step 3e: exact volume thresholds.
+    if cells and (vmin is not None or vmax is not None):
+        keep = exact_cull_mask(
+            np.asarray([c.volume for c in cells]), vmin=vmin, vmax=vmax
+        )
+        cells = [c for c, k in zip(cells, keep) if k]
+    return cells
+
+
+def tessellate_distributed(
+    comm: Communicator,
+    decomposition: Decomposition,
+    positions: np.ndarray,
+    ids: np.ndarray,
+    ghost: float,
+    backend: str = "qhull",
+    vmin: float | None = None,
+    vmax: float | None = None,
+    output_path: str | None = None,
+    gid: int | None = None,
+) -> tuple[VoronoiBlock, TessTimings, int]:
+    """SPMD tessellation over already-distributed particles (in situ mode).
+
+    Every rank calls this collectively with its owned particles; the rank's
+    block is ``gid`` (default: its rank, the one-block-per-process layout).
+    Returns ``(block, timings, output_bytes)``; ``output_bytes`` is 0 when
+    no ``output_path`` is given.
+    """
+    gid = comm.rank if gid is None else gid
+    block_def = decomposition.block(gid)
+    timer = PhaseTimer()
+
+    with timer.phase("exchange"):
+        ghost_pos, ghost_ids = exchange_ghost_particles(
+            decomposition, comm, gid, positions, ids, ghost
+        )
+
+    with timer.phase("compute"):
+        if backend == "qhull":
+            # Production path: fully vectorized flat-array assembly.
+            block = _tessellate_block_flat(
+                np.atleast_2d(np.asarray(positions, dtype=float)),
+                ids,
+                ghost_pos,
+                ghost_ids,
+                container=block_def.ghost_bounds(ghost),
+                gid=gid,
+                extents=block_def.core,
+                vmin=vmin,
+                vmax=vmax,
+            )
+        else:
+            cells = tessellate_block(
+                positions,
+                ids,
+                ghost_pos,
+                ghost_ids,
+                container=block_def.ghost_bounds(ghost),
+                backend=backend,
+                vmin=vmin,
+                vmax=vmax,
+            )
+            block = VoronoiBlock.from_cells(gid, block_def.core, cells)
+
+    output_bytes = 0
+    if output_path is not None:
+        from .tess_io import write_tessellation
+
+        with timer.phase("output"):
+            output_bytes = write_tessellation(
+                output_path,
+                comm,
+                block,
+                decomposition,
+            )
+    return block, timer.timings, output_bytes
+
+
+@dataclass
+class Tessellation:
+    """A complete tessellation: all blocks plus run metadata."""
+
+    domain: Bounds
+    blocks: list[VoronoiBlock]
+    timings: TessTimings = field(default_factory=TessTimings)
+    output_bytes: int = 0
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def num_cells(self) -> int:
+        """Total kept cells across blocks."""
+        return sum(b.num_cells for b in self.blocks)
+
+    def volumes(self) -> np.ndarray:
+        """All cell volumes, concatenated across blocks."""
+        return (
+            np.concatenate([b.volumes for b in self.blocks])
+            if self.blocks
+            else np.empty(0)
+        )
+
+    def areas(self) -> np.ndarray:
+        """All cell surface areas."""
+        return (
+            np.concatenate([b.areas for b in self.blocks])
+            if self.blocks
+            else np.empty(0)
+        )
+
+    def site_ids(self) -> np.ndarray:
+        """All generating-particle ids."""
+        return (
+            np.concatenate([b.site_ids for b in self.blocks])
+            if self.blocks
+            else np.empty(0, dtype=np.int64)
+        )
+
+    def total_volume(self) -> float:
+        """Sum of kept cell volumes."""
+        return float(self.volumes().sum())
+
+    def cells(self) -> Iterator[VoronoiCell]:
+        """Iterate all cells (rebuilt per block)."""
+        for b in self.blocks:
+            yield from b.cells()
+
+    def write(self, path: str) -> int:
+        """Serial write of all blocks to one tess file; returns file size."""
+        from .tess_io import write_tessellation_serial
+
+        return write_tessellation_serial(path, self)
+
+
+def tessellate(
+    points: np.ndarray,
+    domain: Bounds,
+    nblocks: int = 1,
+    ghost: float | None = None,
+    ids: np.ndarray | None = None,
+    periodic: bool = True,
+    backend: str = "qhull",
+    vmin: float | None = None,
+    vmax: float | None = None,
+    output_path: str | None = None,
+    nranks: int | None = None,
+) -> Tessellation:
+    """Standalone-mode parallel tessellation of a global point set.
+
+    Decomposes ``domain`` into ``nblocks`` blocks over ``nranks`` ranks
+    (default one block per rank, the paper's configuration; fewer ranks
+    assign several blocks per rank round-robin, DIY-style), exchanges
+    ghosts of thickness ``ghost`` (default: 4 mean inter-particle
+    spacings, following the paper's accuracy study), tessellates, and
+    gathers the result.
+
+    Parameters mirror the distributed primitive; see
+    :func:`tessellate_distributed`.
+    """
+    pts = np.atleast_2d(np.asarray(points, dtype=float))
+    if pts.shape[1] != 3:
+        raise ValueError(f"points must be (n, 3), got {pts.shape}")
+    if not np.all(domain.contains(pts)):
+        raise ValueError("all points must lie inside the domain (wrap first)")
+    pid = (
+        np.arange(len(pts), dtype=np.int64)
+        if ids is None
+        else np.asarray(ids, dtype=np.int64)
+    )
+    if len(pid) != len(pts):
+        raise ValueError("ids length must match points")
+    if ghost is None:
+        spacing = (domain.volume / max(len(pts), 1)) ** (1.0 / 3.0)
+        ghost = 4.0 * spacing
+
+    decomp = Decomposition.regular(domain, nblocks, periodic=periodic)
+    nranks = nblocks if nranks is None else nranks
+    if nranks == nblocks:
+        def worker(comm: Communicator):
+            mine = decomp.locate(pts) == comm.rank
+            block, timings, nbytes = tessellate_distributed(
+                comm,
+                decomp,
+                pts[mine],
+                pid[mine],
+                ghost=ghost,
+                backend=backend,
+                vmin=vmin,
+                vmax=vmax,
+                output_path=output_path,
+            )
+            return [block], timings, nbytes
+    else:
+        worker = _multi_block_worker(
+            decomp, nranks, pts, pid, ghost, backend, vmin, vmax, output_path
+        )
+
+    results = run_parallel(nranks, worker)
+    blocks = sorted(
+        (b for local_blocks, _, _ in results for b in local_blocks),
+        key=lambda b: b.gid,
+    )
+    timings = TessTimings()
+    for _, t, _ in results:
+        timings = timings.max_with(t)
+    return Tessellation(
+        domain=domain,
+        blocks=blocks,
+        timings=timings,
+        output_bytes=results[0][2],
+    )
+
+
+def _multi_block_worker(
+    decomp: Decomposition,
+    nranks: int,
+    pts: np.ndarray,
+    pid: np.ndarray,
+    ghost: float,
+    backend: str,
+    vmin: float | None,
+    vmax: float | None,
+    output_path: str | None,
+):
+    """Worker handling several blocks per rank (round-robin assignment)."""
+    from ..diy.exchange import Assignment
+    from .ghost import exchange_ghost_particles_multi
+
+    assignment = Assignment(decomp.nblocks, nranks)
+    owners = decomp.locate(pts)
+
+    def worker(comm: Communicator):
+        timer = PhaseTimer()
+        gids = assignment.gids_of(comm.rank)
+        particles_by_gid = {
+            gid: (pts[owners == gid], pid[owners == gid]) for gid in gids
+        }
+        with timer.phase("exchange"):
+            ghosts = exchange_ghost_particles_multi(
+                decomp, comm, assignment, particles_by_gid, ghost
+            )
+        local_blocks = []
+        with timer.phase("compute"):
+            for gid in gids:
+                own_pos, own_ids = particles_by_gid[gid]
+                gpos, gid_ids = ghosts[gid]
+                block_def = decomp.block(gid)
+                if backend == "qhull":
+                    block = _tessellate_block_flat(
+                        np.atleast_2d(own_pos), own_ids, gpos, gid_ids,
+                        container=block_def.ghost_bounds(ghost),
+                        gid=gid, extents=block_def.core,
+                        vmin=vmin, vmax=vmax,
+                    )
+                else:
+                    cells = tessellate_block(
+                        own_pos, own_ids, gpos, gid_ids,
+                        container=block_def.ghost_bounds(ghost),
+                        backend=backend, vmin=vmin, vmax=vmax,
+                    )
+                    block = VoronoiBlock.from_cells(gid, block_def.core, cells)
+                local_blocks.append(block)
+        nbytes = 0
+        if output_path is not None:
+            from ..diy.mpi_io import write_blocks
+            from .tess_io import _payload
+
+            with timer.phase("output"):
+                blobs = [(b.gid, _payload(b, decomp.domain)) for b in local_blocks]
+                nbytes = write_blocks(
+                    output_path, comm, blobs, nblocks_total=decomp.nblocks
+                )
+        return local_blocks, timer.timings, nbytes
+
+    return worker

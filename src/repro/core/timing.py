@@ -1,0 +1,102 @@
+"""Phase timing for the tessellation (feeds Table II and Figure 10).
+
+The paper itemizes tessellation time into particle exchange, local Voronoi
+computation, and output; :class:`TessTimings` carries the same breakdown.
+Across ranks the convention (as in the paper's tables) is to report the
+maximum over ranks per phase — the critical-path time.
+
+Two clocks are recorded per phase:
+
+* **wall** (``time.perf_counter``) — elapsed real time.  In this
+  reproduction ranks are Python threads sharing the GIL, so wall time on
+  one rank includes time spent waiting for other ranks' bytecode and is
+  *not* comparable to a distributed-memory run.
+* **cpu** (``time.thread_time``) — CPU time consumed by this rank's thread
+  only.  This is the faithful stand-in for per-rank time on a real MPI
+  machine and is what the scaling benchmarks (Figure 10, Table II) report.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+__all__ = ["TessTimings", "PhaseTimer"]
+
+_PHASES = ("exchange", "compute", "output")
+
+
+@dataclass
+class TessTimings:
+    """Seconds spent in each tessellation phase (wall and per-thread CPU)."""
+
+    exchange: float = 0.0
+    compute: float = 0.0
+    output: float = 0.0
+    exchange_cpu: float = 0.0
+    compute_cpu: float = 0.0
+    output_cpu: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Wall-clock sum of the phases."""
+        return self.exchange + self.compute + self.output
+
+    @property
+    def total_cpu(self) -> float:
+        """Per-thread CPU sum of the phases (the scaling metric)."""
+        return self.exchange_cpu + self.compute_cpu + self.output_cpu
+
+    def max_with(self, other: "TessTimings") -> "TessTimings":
+        """Per-phase maximum (reduction op for the cross-rank critical path)."""
+        return TessTimings(
+            **{
+                f: max(getattr(self, f), getattr(other, f))
+                for f in (
+                    "exchange",
+                    "compute",
+                    "output",
+                    "exchange_cpu",
+                    "compute_cpu",
+                    "output_cpu",
+                )
+            }
+        )
+
+    def as_row(self) -> dict[str, float]:
+        """Dict form used by the benchmark tables."""
+        return {
+            "exchange_s": self.exchange_cpu,
+            "compute_s": self.compute_cpu,
+            "output_s": self.output_cpu,
+            "tess_total_s": self.total_cpu,
+            "wall_total_s": self.total,
+        }
+
+
+class PhaseTimer:
+    """Accumulates wall and thread-CPU time into named phases."""
+
+    def __init__(self) -> None:
+        self.timings = TessTimings()
+
+    @contextmanager
+    def phase(self, name: str):
+        """Context manager adding elapsed time to phase ``name``."""
+        if name not in _PHASES:
+            raise ValueError(f"unknown phase {name!r}; choose from {_PHASES}")
+        w0 = time.perf_counter()
+        c0 = time.thread_time()
+        try:
+            yield
+        finally:
+            setattr(
+                self.timings, name, getattr(self.timings, name) + time.perf_counter() - w0
+            )
+            cpu_field = f"{name}_cpu"
+            setattr(
+                self.timings,
+                cpu_field,
+                getattr(self.timings, cpu_field) + time.thread_time() - c0,
+            )

@@ -1,0 +1,375 @@
+"""In-process SPMD runtime with an mpi4py-style communicator.
+
+The paper's stack runs on MPI across Blue Gene/P nodes.  This module provides
+the same programming model inside one Python process: :func:`run_parallel`
+launches one thread per rank, each executing the same function with its own
+:class:`Communicator`.  The API intentionally mirrors mpi4py's lowercase
+(object, pickle-level) interface — ``send``/``recv``/``bcast``/``gather``/
+``allreduce``/``alltoall``/``exscan``/``barrier`` — so that porting the
+library onto real MPI is a mechanical substitution of the communicator
+object.
+
+Design notes
+------------
+* Message matching is by ``(source, tag)`` with per-rank mailboxes guarded by
+  a condition variable; messages between a given (source, dest, tag) triple
+  are delivered in send order (MPI's non-overtaking guarantee).
+* Collectives are built from point-to-point operations plus a reusable
+  barrier; they must be called by all ranks in the same order, exactly as in
+  MPI.
+* NumPy arrays are passed by reference, not serialized: ranks share an
+  address space.  Senders must not mutate a buffer after sending it; all
+  call sites in this package send freshly built arrays or copies.
+* Exceptions raised in any rank cancel the whole parallel region and are
+  re-raised in the caller, with the originating rank attached.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+__all__ = [
+    "Communicator",
+    "ParallelError",
+    "run_parallel",
+    "ANY_SOURCE",
+    "ANY_TAG",
+]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+_DEFAULT_TIMEOUT = 300.0  # seconds; a deadlocked test should fail, not hang
+
+
+class ParallelError(RuntimeError):
+    """An exception raised inside a parallel region, tagged with its rank."""
+
+    def __init__(self, rank: int, original: BaseException):
+        super().__init__(f"rank {rank} raised {type(original).__name__}: {original}")
+        self.rank = rank
+        self.original = original
+
+
+class _AbortedError(RuntimeError):
+    """Secondary failure: a rank was torn down because a peer rank failed.
+
+    Never surfaced to callers when the primary failure is available.
+    """
+
+
+@dataclass
+class _Mailbox:
+    """Per-rank incoming message store with (source, tag) matching."""
+
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    ready: threading.Condition = field(default=None)  # type: ignore[assignment]
+    # queues[(source, tag)] -> deque of payloads, preserving send order
+    queues: dict[tuple[int, int], deque] = field(default_factory=dict)
+    arrivals: deque = field(default_factory=deque)  # (source, tag) arrival order
+
+    def __post_init__(self) -> None:
+        self.ready = threading.Condition(self.lock)
+
+    def put(self, source: int, tag: int, payload: Any) -> None:
+        with self.lock:
+            self.queues.setdefault((source, tag), deque()).append(payload)
+            self.arrivals.append((source, tag))
+            self.ready.notify_all()
+
+    def get(self, source: int, tag: int, abort: threading.Event) -> tuple[Any, int, int]:
+        """Blocking matched receive; returns (payload, source, tag)."""
+        with self.lock:
+            while True:
+                key = self._match(source, tag)
+                if key is not None:
+                    payload = self.queues[key].popleft()
+                    if not self.queues[key]:
+                        del self.queues[key]
+                    try:
+                        self.arrivals.remove(key)
+                    except ValueError:
+                        pass
+                    return payload, key[0], key[1]
+                if abort.is_set():
+                    raise _AbortedError(
+                        "parallel region aborted while waiting for message"
+                    )
+                if not self.ready.wait(timeout=_DEFAULT_TIMEOUT):
+                    raise TimeoutError(
+                        f"recv(source={source}, tag={tag}) timed out after "
+                        f"{_DEFAULT_TIMEOUT}s — likely deadlock"
+                    )
+
+    def _match(self, source: int, tag: int) -> tuple[int, int] | None:
+        if source != ANY_SOURCE and tag != ANY_TAG:
+            key = (source, tag)
+            return key if self.queues.get(key) else None
+        # Wildcard: first arrival that matches.
+        for key in self.arrivals:
+            s, t = key
+            if (source in (ANY_SOURCE, s)) and (tag in (ANY_TAG, t)):
+                if self.queues.get(key):
+                    return key
+        return None
+
+
+class _Barrier:
+    """A reusable barrier that honors the abort flag."""
+
+    def __init__(self, n: int, abort: threading.Event):
+        self._barrier = threading.Barrier(n)
+        self._abort = abort
+
+    def wait(self) -> None:
+        if self._abort.is_set():
+            self._barrier.abort()
+            raise _AbortedError("parallel region aborted at barrier")
+        try:
+            self._barrier.wait(timeout=_DEFAULT_TIMEOUT)
+        except threading.BrokenBarrierError:
+            raise _AbortedError("barrier broken (a peer rank failed)") from None
+
+
+class _World:
+    """Shared state for one parallel region."""
+
+    def __init__(self, size: int):
+        self.size = size
+        self.mailboxes = [_Mailbox() for _ in range(size)]
+        self.abort = threading.Event()
+        self.barrier = _Barrier(size, self.abort)
+        # Scratch slots for collectives rooted at a rank.
+        self.bcast_slot: list[Any] = [None]
+
+
+class Communicator:
+    """mpi4py-flavored communicator for one rank of a parallel region.
+
+    All collective operations must be invoked by every rank of the region in
+    the same order.  Tags below 2**20 are reserved for user point-to-point
+    traffic; collectives use a disjoint internal tag space.
+    """
+
+    _COLL_TAG = 1 << 20  # base tag for internal collective traffic
+
+    def __init__(self, rank: int, world: _World):
+        self._rank = rank
+        self._world = world
+        self._coll_seq = 0  # per-rank collective sequence number
+
+    # ------------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        """This rank's index in ``[0, size)``."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the region."""
+        return self._world.size
+
+    # mpi4py spellings
+    def Get_rank(self) -> int:  # noqa: N802 - mpi4py compatibility
+        return self._rank
+
+    def Get_size(self) -> int:  # noqa: N802 - mpi4py compatibility
+        return self._world.size
+
+    # ------------------------------------------------------------------
+    # point to point
+    # ------------------------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Send ``obj`` to rank ``dest``.  Buffered; never blocks."""
+        self._check_rank(dest)
+        self._world.mailboxes[dest].put(self._rank, tag, obj)
+
+    # In this runtime sends are always buffered, so isend == send.
+    isend = send
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        """Blocking receive; returns the payload object."""
+        payload, _, _ = self._world.mailboxes[self._rank].get(
+            source, tag, self._world.abort
+        )
+        return payload
+
+    def recv_with_status(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> tuple[Any, int, int]:
+        """Blocking receive returning ``(payload, source, tag)``."""
+        return self._world.mailboxes[self._rank].get(source, tag, self._world.abort)
+
+    # ------------------------------------------------------------------
+    # collectives
+    # ------------------------------------------------------------------
+    def barrier(self) -> None:
+        """Synchronize all ranks."""
+        self._world.barrier.wait()
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast ``obj`` from ``root``; all ranks return it."""
+        tag = self._next_coll_tag()
+        if self._rank == root:
+            for dst in range(self.size):
+                if dst != root:
+                    self.send(obj, dst, tag)
+            return obj
+        return self.recv(root, tag)
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        """Gather one object per rank at ``root`` (rank order); None elsewhere."""
+        tag = self._next_coll_tag()
+        if self._rank == root:
+            out: list[Any] = [None] * self.size
+            out[root] = obj
+            for src in range(self.size):
+                if src != root:
+                    out[src] = self.recv(src, tag)
+            return out
+        self.send(obj, root, tag)
+        return None
+
+    def allgather(self, obj: Any) -> list[Any]:
+        """Gather one object per rank at every rank."""
+        gathered = self.gather(obj, root=0)
+        return self.bcast(gathered, root=0)
+
+    def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
+        """Scatter ``size`` objects from ``root``; each rank returns its item."""
+        tag = self._next_coll_tag()
+        if self._rank == root:
+            if objs is None or len(objs) != self.size:
+                raise ValueError(
+                    f"scatter at root needs exactly {self.size} items, got "
+                    f"{None if objs is None else len(objs)}"
+                )
+            for dst in range(self.size):
+                if dst != root:
+                    self.send(objs[dst], dst, tag)
+            return objs[root]
+        return self.recv(root, tag)
+
+    def reduce(
+        self, obj: Any, op: Callable[[Any, Any], Any] = None, root: int = 0
+    ) -> Any | None:
+        """Reduce one contribution per rank to ``root`` with ``op`` (default +)."""
+        import operator
+
+        op = op or operator.add
+        vals = self.gather(obj, root=root)
+        if self._rank != root:
+            return None
+        acc = vals[0]
+        for v in vals[1:]:
+            acc = op(acc, v)
+        return acc
+
+    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any] = None) -> Any:
+        """Reduce with ``op`` (default +) and broadcast the result."""
+        return self.bcast(self.reduce(obj, op=op, root=0), root=0)
+
+    def exscan(self, value: Any, op: Callable[[Any, Any], Any] = None) -> Any:
+        """Exclusive prefix reduction; rank 0 receives ``None``.
+
+        Used by the parallel writer to turn per-rank byte counts into file
+        offsets, exactly as DIY does with ``MPI_Exscan``.
+        """
+        import operator
+
+        op = op or operator.add
+        vals = self.allgather(value)
+        if self._rank == 0:
+            return None
+        acc = vals[0]
+        for v in vals[1 : self._rank]:
+            acc = op(acc, v)
+        return acc
+
+    def alltoall(self, objs: Sequence[Any]) -> list[Any]:
+        """Exchange ``objs[d]`` to each rank ``d``; returns items received
+        from every rank, in rank order."""
+        if len(objs) != self.size:
+            raise ValueError(f"alltoall needs {self.size} items, got {len(objs)}")
+        tag = self._next_coll_tag()
+        for dst in range(self.size):
+            if dst != self._rank:
+                self.send(objs[dst], dst, tag)
+        out: list[Any] = [None] * self.size
+        out[self._rank] = objs[self._rank]
+        for src in range(self.size):
+            if src != self._rank:
+                out[src] = self.recv(src, tag)
+        return out
+
+    # ------------------------------------------------------------------
+    def _next_coll_tag(self) -> int:
+        # Collectives execute in the same order on all ranks, so a per-rank
+        # sequence number yields matching tags without coordination.
+        self._coll_seq += 1
+        return self._COLL_TAG + self._coll_seq
+
+    def _check_rank(self, r: int) -> None:
+        if not 0 <= r < self.size:
+            raise ValueError(f"rank {r} out of range [0, {self.size})")
+
+
+def run_parallel(
+    nranks: int,
+    func: Callable[..., Any],
+    *args: Any,
+    **kwargs: Any,
+) -> list[Any]:
+    """Run ``func(comm, *args, **kwargs)`` on ``nranks`` ranks; return results.
+
+    ``func`` receives a :class:`Communicator` as its first argument.  Returns
+    the per-rank return values in rank order.  If any rank raises, the region
+    is aborted and a :class:`ParallelError` wrapping the first failure is
+    raised.
+
+    ``nranks == 1`` runs inline on the calling thread (serial mode — the
+    paper's standalone/serial configuration) which keeps single-rank paths
+    easy to debug and profile.
+    """
+    if nranks < 1:
+        raise ValueError(f"nranks must be >= 1, got {nranks}")
+
+    world = _World(nranks)
+
+    if nranks == 1:
+        return [func(Communicator(0, world), *args, **kwargs)]
+
+    results: list[Any] = [None] * nranks
+    errors: list[ParallelError] = []
+    errors_lock = threading.Lock()
+
+    def runner(rank: int) -> None:
+        try:
+            results[rank] = func(Communicator(rank, world), *args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - must propagate everything
+            with errors_lock:
+                errors.append(ParallelError(rank, exc))
+            world.abort.set()
+            world.barrier._barrier.abort()  # wake ranks blocked at a barrier
+            # Wake any rank blocked in a matched receive.
+            for mb in world.mailboxes:
+                with mb.lock:
+                    mb.ready.notify_all()
+
+    threads = [
+        threading.Thread(target=runner, args=(r,), name=f"rank-{r}", daemon=True)
+        for r in range(nranks)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    if errors:
+        # Prefer the originating failure over secondary teardown errors.
+        errors.sort(key=lambda e: (isinstance(e.original, _AbortedError), e.rank))
+        raise errors[0]
+    return results

@@ -1,0 +1,233 @@
+"""Single-file blocked I/O in the style of DIY's parallel writer.
+
+All blocks of a decomposition are written into **one file**: a fixed header,
+then each block's serialized payload at an exclusive-scan byte offset, then a
+footer index of ``(gid, offset, size)`` records and a trailing pointer to the
+footer.  On real MPI this is ``MPI_File_write_at_all``; here each rank-thread
+performs positioned writes (``os.pwrite``) into the shared file, which keeps
+the exact offset arithmetic and collective structure of the original.
+
+The payload format is caller-defined bytes; :func:`pack_arrays` /
+:func:`unpack_arrays` provide a safe (``allow_pickle=False``) container for
+named NumPy arrays used by the tessellation data model.
+
+File layout::
+
+    offset 0        magic  b"DIYB"  (4 bytes)
+    4               version u32
+    8               nblocks u64
+    16              block payloads, tightly packed in gid order of write
+    footer_offset   nblocks x (gid u64, offset u64, size u64)
+    end-8           footer_offset u64
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from .comm import Communicator
+
+__all__ = [
+    "pack_arrays",
+    "unpack_arrays",
+    "write_blocks",
+    "BlockFileReader",
+    "HEADER_SIZE",
+]
+
+_MAGIC = b"DIYB"
+_VERSION = 1
+_HEADER = struct.Struct("<4sIQ")
+_INDEX_ENTRY = struct.Struct("<QQQ")
+_TRAILER = struct.Struct("<Q")
+
+HEADER_SIZE = _HEADER.size
+
+
+# ----------------------------------------------------------------------
+# array container serialization
+# ----------------------------------------------------------------------
+def pack_arrays(arrays: dict[str, np.ndarray]) -> bytes:
+    """Serialize a mapping of names to arrays into a self-describing blob.
+
+    Uses the ``.npy`` wire format per array (no pickling), so any dtype/shape
+    round-trips exactly.  Keys are written in sorted order for determinism.
+    """
+    out = io.BytesIO()
+    keys = sorted(arrays)
+    out.write(struct.pack("<I", len(keys)))
+    for key in keys:
+        kb = key.encode("utf-8")
+        body = io.BytesIO()
+        np.save(body, np.ascontiguousarray(arrays[key]), allow_pickle=False)
+        blob = body.getvalue()
+        out.write(struct.pack("<H", len(kb)))
+        out.write(kb)
+        out.write(struct.pack("<Q", len(blob)))
+        out.write(blob)
+    return out.getvalue()
+
+
+def unpack_arrays(blob: bytes) -> dict[str, np.ndarray]:
+    """Inverse of :func:`pack_arrays`."""
+    buf = io.BytesIO(blob)
+    (nkeys,) = struct.unpack("<I", buf.read(4))
+    out: dict[str, np.ndarray] = {}
+    for _ in range(nkeys):
+        (klen,) = struct.unpack("<H", buf.read(2))
+        key = buf.read(klen).decode("utf-8")
+        (blen,) = struct.unpack("<Q", buf.read(8))
+        body = io.BytesIO(buf.read(blen))
+        out[key] = np.load(body, allow_pickle=False)
+    return out
+
+
+# ----------------------------------------------------------------------
+# collective write
+# ----------------------------------------------------------------------
+def write_blocks(
+    path: str | os.PathLike,
+    comm: Communicator,
+    blocks: list[tuple[int, bytes]],
+    nblocks_total: int | None = None,
+) -> int:
+    """Collectively write per-rank ``(gid, payload)`` blocks to one file.
+
+    Every rank passes its own blocks; offsets are computed with an exclusive
+    scan of per-rank byte totals, each rank writes its payloads at its own
+    offsets, and rank 0 writes the header, footer index, and trailer.
+
+    Returns the total file size in bytes (valid on every rank).
+    """
+    path = os.fspath(path)
+    local_size = sum(len(b) for _, b in blocks)
+    start = comm.exscan(local_size)
+    offset = HEADER_SIZE + (0 if start is None else int(start))
+
+    # Rank 0 creates/truncates the file before anyone writes into it.
+    if comm.rank == 0:
+        with open(path, "wb"):
+            pass
+    comm.barrier()
+
+    index_entries: list[tuple[int, int, int]] = []
+    fd = os.open(path, os.O_WRONLY)
+    try:
+        for gid, payload in blocks:
+            written = os.pwrite(fd, payload, offset)
+            if written != len(payload):
+                raise IOError(
+                    f"short write for block {gid}: {written} of {len(payload)} bytes"
+                )
+            index_entries.append((gid, offset, len(payload)))
+            offset += len(payload)
+    finally:
+        os.close(fd)
+
+    all_entries = comm.gather(index_entries, root=0)
+    total_payload = comm.allreduce(local_size)
+    footer_offset = HEADER_SIZE + int(total_payload)
+
+    if comm.rank == 0:
+        flat = sorted((e for per_rank in all_entries for e in per_rank))
+        nblocks = nblocks_total if nblocks_total is not None else len(flat)
+        if len(flat) != nblocks:
+            raise ValueError(
+                f"expected {nblocks} blocks in file, wrote {len(flat)}"
+            )
+        gids = [g for g, _, _ in flat]
+        if gids != list(range(nblocks)):
+            raise ValueError(f"block gids must be 0..{nblocks - 1}, got {gids}")
+        fd = os.open(path, os.O_WRONLY)
+        try:
+            os.pwrite(fd, _HEADER.pack(_MAGIC, _VERSION, nblocks), 0)
+            footer = b"".join(_INDEX_ENTRY.pack(*e) for e in flat)
+            os.pwrite(fd, footer, footer_offset)
+            os.pwrite(
+                fd,
+                _TRAILER.pack(footer_offset),
+                footer_offset + len(footer),
+            )
+        finally:
+            os.close(fd)
+
+    comm.barrier()
+    nblocks = nblocks_total if nblocks_total is not None else comm.allreduce(len(blocks))
+    return footer_offset + nblocks * _INDEX_ENTRY.size + _TRAILER.size
+
+
+# ----------------------------------------------------------------------
+# reader
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _IndexEntry:
+    gid: int
+    offset: int
+    size: int
+
+
+class BlockFileReader:
+    """Random-access reader for files produced by :func:`write_blocks`.
+
+    Safe for concurrent use from multiple rank-threads (positioned reads on
+    a private descriptor).  Supports reading any subset of blocks, which is
+    how the postprocessing plugin's parallel reader divides work.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = os.fspath(path)
+        self._fd = os.open(self.path, os.O_RDONLY)
+        try:
+            header = os.pread(self._fd, HEADER_SIZE, 0)
+            magic, version, nblocks = _HEADER.unpack(header)
+            if magic != _MAGIC:
+                raise ValueError(f"{self.path}: not a DIY block file (magic {magic!r})")
+            if version != _VERSION:
+                raise ValueError(f"{self.path}: unsupported version {version}")
+            self.nblocks = int(nblocks)
+
+            file_size = os.fstat(self._fd).st_size
+            trailer = os.pread(self._fd, _TRAILER.size, file_size - _TRAILER.size)
+            (footer_offset,) = _TRAILER.unpack(trailer)
+            footer = os.pread(
+                self._fd, self.nblocks * _INDEX_ENTRY.size, footer_offset
+            )
+            self._index = {}
+            for i in range(self.nblocks):
+                gid, off, size = _INDEX_ENTRY.unpack_from(footer, i * _INDEX_ENTRY.size)
+                self._index[int(gid)] = _IndexEntry(int(gid), int(off), int(size))
+        except Exception:
+            os.close(self._fd)
+            raise
+
+    def __enter__(self) -> "BlockFileReader":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release the file descriptor (idempotent)."""
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None  # type: ignore[assignment]
+
+    def read_block(self, gid: int) -> bytes:
+        """Raw payload bytes of block ``gid``."""
+        try:
+            entry = self._index[gid]
+        except KeyError:
+            raise KeyError(f"block {gid} not in file (0..{self.nblocks - 1})") from None
+        blob = os.pread(self._fd, entry.size, entry.offset)
+        if len(blob) != entry.size:
+            raise IOError(f"short read for block {gid}")
+        return blob
+
+    def read_block_arrays(self, gid: int) -> dict[str, np.ndarray]:
+        """Payload of block ``gid`` decoded with :func:`unpack_arrays`."""
+        return unpack_arrays(self.read_block(gid))

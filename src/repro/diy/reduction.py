@@ -1,0 +1,72 @@
+"""Tree-structured global reductions (DIY's merge reduction).
+
+DIY's signature communication pattern beyond neighbor exchange is the
+*merge* reduction: partial results combine pairwise up a binomial tree in
+``ceil(log2 P)`` rounds, so global analysis products (histograms, counts,
+extrema) cost logarithmic depth instead of the linear gather used by naive
+implementations.  tess's companion tools use it for their summary
+statistics.
+
+The ``op`` must be associative; commutativity is not required (partners
+are combined in rank order).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .comm import Communicator
+
+__all__ = ["tree_reduce", "tree_allreduce"]
+
+_TAG_BASE = 1 << 19  # below the collective tag space, above user tags
+
+
+def tree_reduce(
+    comm: Communicator,
+    value: Any,
+    op: Callable[[Any, Any], Any],
+    root: int = 0,
+) -> Any:
+    """Reduce ``value`` across ranks to ``root`` along a binomial tree.
+
+    Collective.  Returns the reduction at ``root`` and ``None`` elsewhere.
+    The tree is rooted at rank 0 internally; for another root the result is
+    forwarded (one extra message), keeping the implementation simple while
+    preserving the log-depth combine structure.
+    """
+    if not 0 <= root < comm.size:
+        raise ValueError(f"root {root} out of range [0, {comm.size})")
+    acc = value
+    rank, size = comm.rank, comm.size
+    round_no = 0
+    stride = 1
+    while stride < size:
+        tag = _TAG_BASE + round_no
+        if rank % (2 * stride) == 0:
+            partner = rank + stride
+            if partner < size:
+                other = comm.recv(source=partner, tag=tag)
+                acc = op(acc, other)  # lower rank on the left: rank order
+        elif rank % (2 * stride) == stride:
+            comm.send(acc, dest=rank - stride, tag=tag)
+            acc = None
+        stride *= 2
+        round_no += 1
+
+    if root != 0:
+        tag = _TAG_BASE + 64
+        if rank == 0:
+            comm.send(acc, dest=root, tag=tag)
+            return None
+        if rank == root:
+            return comm.recv(source=0, tag=tag)
+        return None
+    return acc if rank == 0 else None
+
+
+def tree_allreduce(
+    comm: Communicator, value: Any, op: Callable[[Any, Any], Any]
+) -> Any:
+    """Tree reduction followed by a broadcast; every rank gets the result."""
+    return comm.bcast(tree_reduce(comm, value, op, root=0), root=0)

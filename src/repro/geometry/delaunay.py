@@ -1,0 +1,104 @@
+"""Delaunay tetrahedralization and Voronoi-Delaunay duality helpers.
+
+The paper notes (§II-B) that the Delaunay tessellation is simply the dual of
+the Voronoi diagram: Delaunay cells have input points at their vertices,
+Voronoi cells contain them in their interiors, and each Voronoi vertex is
+the circumcenter of a Delaunay tetrahedron.  This module exposes that dual
+view — used by the DTFE-style density estimators in
+:mod:`repro.analysis.statistics` and by cross-validation tests of the
+Voronoi backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DelaunayMesh", "delaunay", "circumcenters", "circumradii"]
+
+
+@dataclass(frozen=True)
+class DelaunayMesh:
+    """A Delaunay tetrahedralization.
+
+    Attributes
+    ----------
+    points:
+        The generating points.
+    tetrahedra:
+        ``(m, 4)`` indices into ``points``.
+    neighbors:
+        ``(m, 4)`` indices of the tetrahedron opposite each vertex, or -1 on
+        the convex-hull boundary (scipy convention).
+    """
+
+    points: np.ndarray
+    tetrahedra: np.ndarray
+    neighbors: np.ndarray
+
+    @property
+    def num_tetrahedra(self) -> int:
+        return len(self.tetrahedra)
+
+    def volumes(self) -> np.ndarray:
+        """Signed-made-positive volume of every tetrahedron."""
+        p = self.points
+        a = p[self.tetrahedra[:, 0]]
+        b = p[self.tetrahedra[:, 1]]
+        c = p[self.tetrahedra[:, 2]]
+        d = p[self.tetrahedra[:, 3]]
+        return np.abs(np.einsum("ij,ij->i", np.cross(b - a, c - a), d - a)) / 6.0
+
+    def vertex_star_volumes(self) -> np.ndarray:
+        """Per-point sum of adjacent tetrahedron volumes (contiguous hull).
+
+        This is the denominator of the Delaunay Tessellation Field Estimator
+        (DTFE, Schaap 2007): the density estimate at a point is
+        ``4 / (star volume)`` in 3D.
+        """
+        vols = self.volumes()
+        out = np.zeros(len(self.points))
+        for k in range(4):
+            np.add.at(out, self.tetrahedra[:, k], vols)
+        return out
+
+
+def delaunay(points: np.ndarray) -> DelaunayMesh:
+    """Delaunay tetrahedralization of 3D points (Qhull via scipy)."""
+    from scipy.spatial import Delaunay
+
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2 or pts.shape[1] != 3:
+        raise ValueError(f"points must be (n, 3), got {pts.shape}")
+    tri = Delaunay(pts)
+    return DelaunayMesh(
+        points=pts,
+        tetrahedra=tri.simplices.astype(np.int64),
+        neighbors=tri.neighbors.astype(np.int64),
+    )
+
+
+def circumcenters(mesh: DelaunayMesh) -> np.ndarray:
+    """Circumcenter of every tetrahedron — the dual Voronoi vertices.
+
+    Solves, per tetrahedron, the linear system equating distances from the
+    center to all four vertices.  Vectorized over all tetrahedra.
+    """
+    p = mesh.points
+    a = p[mesh.tetrahedra[:, 0]]
+    rows = [p[mesh.tetrahedra[:, k]] - a for k in (1, 2, 3)]
+    A = np.stack(rows, axis=1)  # (m, 3, 3)
+    rhs = 0.5 * np.stack(
+        [np.einsum("ij,ij->i", r, r) for r in rows], axis=1
+    )  # (m, 3)
+    centers = np.linalg.solve(A, rhs[..., None])[..., 0]
+    return centers + a
+
+
+def circumradii(mesh: DelaunayMesh) -> np.ndarray:
+    """Circumradius of every tetrahedron."""
+    c = circumcenters(mesh)
+    a = mesh.points[mesh.tetrahedra[:, 0]]
+    d = c - a
+    return np.sqrt(np.einsum("ij,ij->i", d, d))

@@ -1,0 +1,155 @@
+"""Qhull-based Voronoi construction via :class:`scipy.spatial.Voronoi`.
+
+The paper's local computation uses the Qhull library directly; SciPy wraps
+the same code, so this backend is the closest functional equivalent.  The
+adapter converts Qhull's global diagram (vertices, ridges, regions) into the
+per-cell :class:`~repro.geometry.voronoi_cells.VoronoiCellGeometry` objects
+that the rest of the pipeline consumes, tagging each face with the
+neighboring site index from the ridge's point pair.
+
+Completeness here means: the region is bounded (no ``-1`` vertex — Qhull's
+marker for a ray to infinity) *and* every cell vertex lies inside the
+container box.  The second condition mirrors the paper's incomplete-cell
+deletion: a bounded cell whose vertices spill past the ghost region could
+still be altered by unseen particles, so it cannot be certified.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..diy.bounds import Bounds
+from .polyhedron import ConvexPolyhedron
+from .voronoi_cells import VoronoiCellGeometry
+
+__all__ = ["voronoi_cells_qhull"]
+
+
+def voronoi_cells_qhull(
+    points: np.ndarray,
+    box: Bounds,
+    sites: np.ndarray | None = None,
+) -> list[VoronoiCellGeometry]:
+    """Compute Voronoi cells with the Qhull backend.
+
+    Same contract as :func:`repro.geometry.voronoi_cells.voronoi_cells_clip`
+    except incomplete cells carry ``polyhedron=None`` (Qhull leaves them
+    unbounded, so there is no closed geometry to report).
+    """
+    from scipy.spatial import QhullError, Voronoi
+
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2 or pts.shape[1] != 3:
+        raise ValueError(f"points must be (n, 3), got {pts.shape}")
+    n = len(pts)
+    site_idx = np.arange(n) if sites is None else np.asarray(sites, dtype=np.int64)
+    if n < 5:
+        # Qhull needs a full-dimensional Delaunay; with too few sites every
+        # cell is unbounded anyway.
+        return [
+            VoronoiCellGeometry(site=int(s), polyhedron=None, complete=False)
+            for s in site_idx
+        ]
+
+    try:
+        vor = Voronoi(pts)
+    except QhullError:
+        try:
+            vor = Voronoi(pts, qhull_options="Qbb Qc Qz QJ")  # joggle
+        except QhullError:
+            return [
+                VoronoiCellGeometry(site=int(s), polyhedron=None, complete=False)
+                for s in site_idx
+            ]
+
+    # Group ridges by the cell on each side: cell -> [(other_site, ridge_vertices)].
+    # Ridges touching Qhull's synthetic Qz point (index >= n, possible on
+    # degenerate inputs) mark their real cell unbounded.
+    cell_ridges: dict[int, list[tuple[int, list[int]]]] = {}
+    synthetic_touch: set[int] = set()
+    for (p, q), rv in zip(vor.ridge_points, vor.ridge_vertices):
+        p, q = int(p), int(q)
+        if p >= n or q >= n:
+            if p < n:
+                synthetic_touch.add(p)
+            if q < n:
+                synthetic_touch.add(q)
+            continue
+        cell_ridges.setdefault(p, []).append((q, rv))
+        cell_ridges.setdefault(q, []).append((p, rv))
+
+    lo, hi = box.as_arrays()
+
+    out: list[VoronoiCellGeometry] = []
+    for s in site_idx:
+        s = int(s)
+        region = vor.regions[vor.point_region[s]]
+        ridges = cell_ridges.get(s, [])
+        if not region or -1 in region or not ridges or s in synthetic_touch:
+            out.append(VoronoiCellGeometry(site=s, polyhedron=None, complete=False))
+            continue
+        if any(-1 in rv for _, rv in ridges):
+            out.append(VoronoiCellGeometry(site=s, polyhedron=None, complete=False))
+            continue
+
+        poly = _polyhedron_from_ridges(vor.vertices, ridges, pts[s], pts)
+        if poly is None:
+            out.append(VoronoiCellGeometry(site=s, polyhedron=None, complete=False))
+            continue
+        inside = np.all(poly.vertices >= lo) and np.all(poly.vertices <= hi)
+        out.append(
+            VoronoiCellGeometry(site=s, polyhedron=poly, complete=bool(inside))
+        )
+    return out
+
+
+def _polyhedron_from_ridges(
+    vor_vertices: np.ndarray,
+    ridges: list[tuple[int, list[int]]],
+    site: np.ndarray,
+    pts: np.ndarray,
+) -> ConvexPolyhedron | None:
+    """Assemble a closed polyhedron from a bounded cell's ridges.
+
+    Each ridge polygon's vertices are re-ordered by angle around the
+    site-to-neighbor axis; Qhull emits them in facet order already, but the
+    contract is undocumented, so we do not rely on it.
+    """
+    used = sorted({int(v) for _, rv in ridges for v in rv})
+    if len(used) < 4:
+        return None
+    remap = {v: i for i, v in enumerate(used)}
+    vertices = vor_vertices[used]
+
+    faces: list[np.ndarray] = []
+    face_ids: list[int] = []
+    for other, rv in ridges:
+        if len(rv) < 3:
+            continue
+        axis = pts[other] - site
+        norm = np.linalg.norm(axis)
+        if norm == 0.0:
+            return None
+        axis = axis / norm
+        ring = np.asarray([remap[int(v)] for v in rv], dtype=np.int64)
+        ring_pts = vertices[ring]
+        center = ring_pts.mean(axis=0)
+        # In-plane basis perpendicular to the site-neighbor axis.
+        a = np.array([1.0, 0.0, 0.0])
+        if abs(float(a @ axis)) > 0.9:
+            a = np.array([0.0, 1.0, 0.0])
+        u = np.cross(axis, a)
+        u /= np.linalg.norm(u)
+        w = np.cross(axis, u)
+        rel = ring_pts - center
+        order = np.argsort(np.arctan2(rel @ w, rel @ u))
+        faces.append(ring[order])
+        face_ids.append(int(other))
+
+    if len(faces) < 4:
+        return None
+    return ConvexPolyhedron(
+        vertices=vertices,
+        faces=faces,
+        face_ids=np.asarray(face_ids, dtype=np.int64),
+    )

@@ -1,0 +1,130 @@
+"""Flat ΛCDM background cosmology: expansion history and linear growth.
+
+HACC evolves the Vlasov-Poisson system in an expanding Friedmann background;
+everything the particle-mesh solver and the Zel'dovich initial conditions
+need from that background is collected here: the normalized Hubble rate
+``E(a)``, the linear growth factor ``D(a)`` (normalized to ``D(1) = 1``),
+and the logarithmic growth rate ``f = dlnD/dlna``.
+
+The growth factor uses the standard quadrature solution for flat ΛCDM,
+
+    D(a) ∝ E(a) ∫_0^a da' / (a' E(a'))^3 ,
+
+evaluated with a dense trapezoid rule and cached on a log-spaced grid so
+repeated calls during time stepping are O(1) interpolations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["LCDM", "PLANCK_LIKE"]
+
+
+@dataclass(frozen=True)
+class LCDM:
+    """Flat ΛCDM parameters and derived background functions.
+
+    Parameters
+    ----------
+    omega_m:
+        Total matter density parameter today (CDM + baryons).
+    omega_b:
+        Baryon density parameter (used by the Eisenstein-Hu transfer
+        function).
+    h:
+        Dimensionless Hubble parameter, ``H0 = 100 h`` km/s/Mpc.
+    ns:
+        Scalar spectral index.
+    sigma8:
+        RMS linear density fluctuation in 8 Mpc/h spheres at z=0; fixes the
+        power-spectrum normalization.
+    """
+
+    omega_m: float = 0.265
+    omega_b: float = 0.045
+    h: float = 0.71
+    ns: float = 0.963
+    sigma8: float = 0.8
+
+    # Cached growth-factor table (lazily built; frozen dataclass workaround).
+    _growth_cache: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.omega_m <= 1.0:
+            raise ValueError(f"omega_m must be in (0, 1], got {self.omega_m}")
+        if not 0.0 <= self.omega_b < self.omega_m:
+            raise ValueError("omega_b must be nonnegative and below omega_m")
+        if self.h <= 0:
+            raise ValueError(f"h must be positive, got {self.h}")
+
+    # ------------------------------------------------------------------
+    @property
+    def omega_l(self) -> float:
+        """Dark-energy density parameter (flatness: 1 - omega_m)."""
+        return 1.0 - self.omega_m
+
+    def e_of_a(self, a: np.ndarray | float) -> np.ndarray | float:
+        """Normalized Hubble rate ``E(a) = H(a)/H0`` for flat ΛCDM."""
+        a = np.asarray(a, dtype=float)
+        out = np.sqrt(self.omega_m / a**3 + self.omega_l)
+        return float(out) if out.ndim == 0 else out
+
+    def hubble(self, a: float) -> float:
+        """H(a) in km/s/Mpc."""
+        return 100.0 * self.h * float(self.e_of_a(a))
+
+    # ------------------------------------------------------------------
+    def _growth_table(self) -> tuple[np.ndarray, np.ndarray]:
+        cached = self._growth_cache.get("table")
+        if cached is not None:
+            return cached
+        # Integrand 1/(a E)^3 from a ~ 0; log-spaced for early-time accuracy.
+        a_grid = np.logspace(-4, 0.05, 4096)
+        integrand = 1.0 / (a_grid * self.e_of_a(a_grid)) ** 3
+        # Cumulative trapezoid, starting from an analytic matter-dominated
+        # piece below the first grid point (D ∝ a there, integral ∝ a^(5/2)).
+        cum = np.concatenate(
+            [[0.0], np.cumsum(0.5 * (integrand[1:] + integrand[:-1]) * np.diff(a_grid))]
+        )
+        head = (2.0 / 5.0) * a_grid[0] ** 2.5 / self.omega_m**1.5
+        unnorm = self.e_of_a(a_grid) * (cum + head)
+        norm = np.interp(1.0, a_grid, unnorm)
+        table = (a_grid, unnorm / norm)
+        self._growth_cache["table"] = table
+        return table
+
+    def growth_factor(self, a: np.ndarray | float) -> np.ndarray | float:
+        """Linear growth factor ``D(a)``, normalized to ``D(1) = 1``."""
+        a_grid, d_grid = self._growth_table()
+        a_arr = np.asarray(a, dtype=float)
+        if np.any(a_arr <= 0):
+            raise ValueError("scale factor must be positive")
+        out = np.interp(a_arr, a_grid, d_grid)
+        return float(out) if out.ndim == 0 else out
+
+    def growth_rate(self, a: float) -> float:
+        """Logarithmic growth rate ``f(a) = dlnD/dlna`` (finite difference)."""
+        da = 1e-4 * a
+        lo = max(a - da, 1e-4)
+        hi = a + da
+        d_lo = self.growth_factor(lo)
+        d_hi = self.growth_factor(hi)
+        return float((np.log(d_hi) - np.log(d_lo)) / (np.log(hi) - np.log(lo)))
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def a_of_z(z: float) -> float:
+        """Scale factor at redshift ``z``."""
+        return 1.0 / (1.0 + z)
+
+    @staticmethod
+    def z_of_a(a: float) -> float:
+        """Redshift at scale factor ``a``."""
+        return 1.0 / a - 1.0
+
+
+#: A WMAP7-era parameter set close to the Coyote Universe runs HACC used.
+PLANCK_LIKE = LCDM()

@@ -1,0 +1,149 @@
+"""Zel'dovich-approximation initial conditions.
+
+HACC initializes tracer particles on a regular lattice displaced by the
+Zel'dovich approximation: a Gaussian random field delta_k is drawn with the
+linear power spectrum, the displacement field is
+
+    psi_k = i k / k^2 * delta_k ,
+
+and particles start at ``q + D(a_i) psi(q)`` with momenta proportional to
+``dD/da``.  The paper's runs (Section IV) place ``np^3`` particles on an
+``ng = np`` grid with a box of the same number of Mpc/h per side, so the
+initial inter-particle spacing is exactly 1 Mpc/h; :func:`zeldovich_ics`
+defaults to that configuration.
+
+Units: positions in grid units [0, ng); momenta are the supercomoving
+``p = a^2 E(a) dD/dlna ... psi`` combination consumed by
+:mod:`repro.hacc.integrator` (see that module for the conventions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .cosmology import LCDM
+from .particles import ParticleSet
+from .power_spectrum import LinearPowerSpectrum
+
+__all__ = ["gaussian_field_k", "zeldovich_displacements", "zeldovich_ics"]
+
+
+def _k_grids_physical(ng: int, box: float):
+    """Wavenumbers in h/Mpc on the rfftn grid of an ``ng^3`` mesh."""
+    k1 = 2.0 * np.pi * np.fft.fftfreq(ng, d=box / ng)
+    kz = 2.0 * np.pi * np.fft.rfftfreq(ng, d=box / ng)
+    return k1[:, None, None], k1[None, :, None], kz[None, None, :]
+
+
+def gaussian_field_k(
+    ng: int,
+    box: float,
+    power: LinearPowerSpectrum,
+    a: float,
+    seed: int,
+) -> np.ndarray:
+    """Draw delta_k on the rfftn grid with power ``P(k, a)``.
+
+    The field is normalized so that ``irfftn(delta_k)`` is the real-space
+    overdensity: modes are drawn with variance ``P(k) ng^6 / box^3`` under
+    NumPy's unnormalized-forward FFT convention.  Hermitian symmetry is
+    guaranteed by drawing the white noise in real space.
+    """
+    rng = np.random.default_rng(seed)
+    # White noise in real space -> unit-variance complex modes with exact
+    # Hermitian symmetry after rfftn.
+    white = rng.standard_normal((ng, ng, ng))
+    wk = np.fft.rfftn(white)  # variance ng^3 per mode
+
+    kx, ky, kz = _k_grids_physical(ng, box)
+    kk = np.sqrt(kx**2 + ky**2 + kz**2)
+    pk = power(kk, a=a)
+    amp = np.sqrt(pk * ng**3 / box**3)  # wk has variance ng^3; want P * ng^6/box^3
+    dk = wk * amp
+    dk[0, 0, 0] = 0.0
+    return dk
+
+
+def zeldovich_displacements(delta_k: np.ndarray, ng: int, box: float) -> np.ndarray:
+    """Displacement field psi (in Mpc/h) from delta_k: psi_k = i k delta_k / k^2."""
+    kx, ky, kz = _k_grids_physical(ng, box)
+    k2 = kx**2 + ky**2 + kz**2
+    psi = np.empty((ng, ng, ng, 3))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        inv_k2 = np.where(k2 > 0, 1.0 / k2, 0.0)
+    for axis, kcomp in enumerate((kx, ky, kz)):
+        psi[..., axis] = np.fft.irfftn(1j * kcomp * delta_k * inv_k2, s=(ng, ng, ng), axes=(0, 1, 2))
+    return psi
+
+
+def zeldovich_ics(
+    np_side: int,
+    cosmo: LCDM,
+    a_init: float,
+    box: float | None = None,
+    ng: int | None = None,
+    seed: int = 0,
+    transfer: str = "eisenstein_hu",
+) -> ParticleSet:
+    """Zel'dovich initial conditions on a particle lattice.
+
+    Parameters
+    ----------
+    np_side:
+        Particles per dimension (``np_side^3`` total).
+    cosmo:
+        Background cosmology.
+    a_init:
+        Starting scale factor (e.g. 0.02 for z=49).
+    box:
+        Box side in Mpc/h; defaults to ``np_side`` (1 Mpc/h spacing, the
+        paper's configuration).
+    ng:
+        Displacement-field mesh (defaults to ``np_side``).
+    seed:
+        Random realization seed.
+
+    Returns
+    -------
+    ParticleSet
+        Positions in grid units of the ``ng`` mesh, momenta in the
+        supercomoving convention of :mod:`repro.hacc.integrator`, ids
+        numbered lattice-row-major.
+    """
+    if np_side < 2:
+        raise ValueError(f"np_side must be >= 2, got {np_side}")
+    if not 0 < a_init <= 1:
+        raise ValueError(f"a_init must be in (0, 1], got {a_init}")
+    box = float(np_side) if box is None else float(box)
+    ng = int(np_side) if ng is None else int(ng)
+
+    power = LinearPowerSpectrum(cosmo, transfer=transfer)
+    dk = gaussian_field_k(ng, box, power, a=1.0, seed=seed)  # z=0 normalization
+    psi = zeldovich_displacements(dk, ng, box)  # Mpc/h, z=0 amplitude
+
+    # Lattice coincides with the mesh when np_side == ng; otherwise sample
+    # the displacement field at lattice sites via nearest mesh point.
+    spacing_g = ng / np_side  # lattice spacing in grid units
+    idx = np.arange(np_side)
+    qx, qy, qz = np.meshgrid(idx, idx, idx, indexing="ij")
+    lattice_g = (
+        np.stack([qx, qy, qz], axis=-1).reshape(-1, 3).astype(float) * spacing_g
+    )
+    mesh_idx = np.mod(np.rint(lattice_g).astype(np.int64), ng)
+    psi_p = psi[mesh_idx[:, 0], mesh_idx[:, 1], mesh_idx[:, 2]]  # Mpc/h
+
+    d_i = cosmo.growth_factor(a_init)
+    f_i = cosmo.growth_rate(a_init)
+    e_i = cosmo.e_of_a(a_init)
+    cell = box / ng  # Mpc/h per grid unit
+
+    positions = np.mod(lattice_g + d_i * psi_p / cell, ng)
+    # Supercomoving momentum p = a^2 dx/dt * (t0/r0); Zel'dovich gives
+    # dx/dt = (dD/dt) psi = H0 a E f D psi, hence p = a^2 E f D psi (grid units).
+    momenta = (a_init**2 * e_i * f_i * d_i) * psi_p / cell
+
+    return ParticleSet(
+        positions=positions,
+        velocities=momenta,
+        ids=np.arange(np_side**3, dtype=np.int64),
+    )

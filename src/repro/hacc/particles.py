@@ -1,0 +1,91 @@
+"""Struct-of-arrays particle storage.
+
+HACC stores particles as parallel arrays (positions, momenta, global ids);
+:class:`ParticleSet` mirrors that layout so every operation — force
+interpolation, migration masks, ghost selection — is a vectorized NumPy
+expression over contiguous arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ParticleSet"]
+
+
+@dataclass
+class ParticleSet:
+    """Particles as parallel arrays.
+
+    Attributes
+    ----------
+    positions:
+        ``(n, 3)`` comoving positions (grid units inside the integrator,
+        Mpc/h at the analysis interface).
+    velocities:
+        ``(n, 3)`` conjugate momenta / velocities in matching units.
+    ids:
+        ``(n,)`` globally unique particle identifiers (int64), preserved
+        across migration and ghost exchange.
+    """
+
+    positions: np.ndarray
+    velocities: np.ndarray
+    ids: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.positions = np.atleast_2d(np.asarray(self.positions, dtype=float))
+        self.velocities = np.atleast_2d(np.asarray(self.velocities, dtype=float))
+        self.ids = np.asarray(self.ids, dtype=np.int64)
+        n = len(self.positions)
+        if self.positions.shape != (n, 3):
+            raise ValueError(f"positions must be (n, 3), got {self.positions.shape}")
+        if self.velocities.shape != (n, 3):
+            raise ValueError(
+                f"velocities must match positions, got {self.velocities.shape}"
+            )
+        if self.ids.shape != (n,):
+            raise ValueError(f"ids must be (n,), got {self.ids.shape}")
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.positions)
+
+    @classmethod
+    def empty(cls) -> "ParticleSet":
+        """A particle set with zero particles."""
+        return cls(
+            positions=np.empty((0, 3)),
+            velocities=np.empty((0, 3)),
+            ids=np.empty(0, dtype=np.int64),
+        )
+
+    def select(self, mask_or_index: np.ndarray) -> "ParticleSet":
+        """Subset by boolean mask or index array (copies)."""
+        return ParticleSet(
+            positions=self.positions[mask_or_index].copy(),
+            velocities=self.velocities[mask_or_index].copy(),
+            ids=self.ids[mask_or_index].copy(),
+        )
+
+    @staticmethod
+    def concatenate(parts: list["ParticleSet"]) -> "ParticleSet":
+        """Concatenate particle sets (empty input yields an empty set)."""
+        parts = [p for p in parts if len(p) > 0]
+        if not parts:
+            return ParticleSet.empty()
+        return ParticleSet(
+            positions=np.concatenate([p.positions for p in parts]),
+            velocities=np.concatenate([p.velocities for p in parts]),
+            ids=np.concatenate([p.ids for p in parts]),
+        )
+
+    def copy(self) -> "ParticleSet":
+        """Deep copy."""
+        return ParticleSet(
+            positions=self.positions.copy(),
+            velocities=self.velocities.copy(),
+            ids=self.ids.copy(),
+        )

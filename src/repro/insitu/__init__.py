@@ -1,0 +1,33 @@
+"""In situ cosmology-tools framework: tool registry, schedules, driver.
+
+Couples the HACC-style simulation to the analysis tools (tessellation,
+halo finder, statistics) at configured time steps — the architecture of
+paper Figure 4, with results collected for run-time use or written to
+storage for postprocessing.
+"""
+
+from .config import FrameworkConfig, ToolConfig
+from .framework import CosmologyToolsFramework, run_simulation_with_tools
+from .tools import (
+    TOOL_REGISTRY,
+    AnalysisTool,
+    CellStatisticsTool,
+    HaloFinderTool,
+    StatisticsTool,
+    TessellationTool,
+    VoidFinderTool,
+)
+
+__all__ = [
+    "FrameworkConfig",
+    "ToolConfig",
+    "CosmologyToolsFramework",
+    "run_simulation_with_tools",
+    "TOOL_REGISTRY",
+    "AnalysisTool",
+    "HaloFinderTool",
+    "StatisticsTool",
+    "TessellationTool",
+    "VoidFinderTool",
+    "CellStatisticsTool",
+]

@@ -1,0 +1,284 @@
+"""Built-in in situ analysis tools (level-1 analysis in paper Figure 4).
+
+Every tool implements :class:`AnalysisTool`: given the live simulation
+state at a fired step, produce a result.  Tools run inside the SPMD region
+— they receive the rank-local particle view and the communicator and may
+perform collectives (ghost exchanges, gathers).  Results are returned on
+every rank (root-gathered objects are broadcast) so the framework's result
+store is rank-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..analysis.halos import HaloCatalog, fof_halos, fof_halos_distributed
+from ..analysis.statistics import Histogram, histogram
+from ..core.tessellate import Tessellation, tessellate_distributed
+from ..core.timing import TessTimings
+from ..diy.comm import Communicator
+
+__all__ = [
+    "AnalysisTool",
+    "TessellationTool",
+    "HaloFinderTool",
+    "StatisticsTool",
+    "VoidFinderTool",
+    "CellStatisticsTool",
+    "TOOL_REGISTRY",
+]
+
+
+class AnalysisTool:
+    """Base class: one analysis filter of the in situ framework."""
+
+    #: Registry key used in :class:`~repro.insitu.config.ToolConfig`.
+    name: str = ""
+
+    def run(
+        self,
+        sim,
+        step: int,
+        a: float,
+        comm: Communicator | None,
+        context: dict[str, Any] | None = None,
+    ) -> Any:
+        """Analyze the live state; called at each scheduled step.
+
+        ``sim`` is the rank's :class:`~repro.hacc.simulation.HACCSimulation`;
+        ``comm`` is ``None`` in serial runs.  ``context`` maps names of
+        tools already run at this step to their results, enabling tool
+        chaining (e.g. void finding over the tessellation tool's output).
+        """
+        raise NotImplementedError
+
+
+@dataclass
+class TessellationTool(AnalysisTool):
+    """Runs tess in situ and (optionally) writes each output to storage.
+
+    Parameters mirror :func:`repro.core.tessellate.tessellate_distributed`;
+    ``output_pattern`` may contain ``{step}`` which is substituted per fire.
+    """
+
+    ghost: float = 4.0
+    backend: str = "qhull"
+    vmin: float | None = None
+    vmax: float | None = None
+    output_pattern: str | None = None
+
+    name = "tessellation"
+
+    def run(
+        self,
+        sim,
+        step: int,
+        a: float,
+        comm: Communicator | None,
+        context: dict[str, Any] | None = None,
+    ) -> Tessellation:
+        path = (
+            self.output_pattern.format(step=step)
+            if self.output_pattern is not None
+            else None
+        )
+        if comm is None:
+            from ..core.tessellate import tessellate
+
+            return tessellate(
+                sim.positions_mpc(),
+                sim.config.domain(),
+                nblocks=1,
+                ghost=self.ghost,
+                ids=sim.local.ids,
+                backend=self.backend,
+                vmin=self.vmin,
+                vmax=self.vmax,
+                output_path=path,
+            )
+        block, timings, nbytes = tessellate_distributed(
+            comm,
+            sim.decomposition,
+            sim.positions_mpc(),
+            sim.local.ids,
+            ghost=self.ghost,
+            backend=self.backend,
+            vmin=self.vmin,
+            vmax=self.vmax,
+            output_path=path,
+        )
+        blocks = comm.gather(block, root=0)
+        all_timings = comm.gather(timings, root=0)
+        if comm.rank == 0:
+            reduced = TessTimings()
+            for t in all_timings:
+                reduced = reduced.max_with(t)
+            tess = Tessellation(
+                domain=sim.config.domain(),
+                blocks=blocks,
+                timings=reduced,
+                output_bytes=nbytes,
+            )
+        else:
+            tess = None
+        return comm.bcast(tess, root=0)
+
+
+@dataclass
+class HaloFinderTool(AnalysisTool):
+    """Friends-of-friends halo finder.
+
+    ``linking_length`` is in units of the mean inter-particle spacing
+    (``b``, conventionally 0.2); the absolute length is derived from the
+    simulation configuration at run time.
+    """
+
+    linking_length: float = 0.2
+    min_members: int = 10
+
+    name = "halo_finder"
+
+    def run(
+        self,
+        sim,
+        step: int,
+        a: float,
+        comm: Communicator | None,
+        context: dict[str, Any] | None = None,
+    ) -> HaloCatalog:
+        spacing = sim.config.box_size / sim.config.np_side
+        b_abs = self.linking_length * spacing
+        if comm is None:
+            return fof_halos(
+                sim.positions_mpc(),
+                b_abs,
+                domain=sim.config.domain(),
+                min_members=self.min_members,
+                ids=sim.local.ids,
+            )
+        return fof_halos_distributed(
+            comm,
+            sim.decomposition,
+            sim.positions_mpc(),
+            sim.local.ids,
+            linking_length=b_abs,
+            min_members=self.min_members,
+        )
+
+
+@dataclass
+class StatisticsTool(AnalysisTool):
+    """Grid density-contrast histogram (a cheap always-on summary).
+
+    Deposits the particles on the force mesh, computes delta, and returns
+    its histogram with skewness/kurtosis — the simulation-side counterpart
+    of the paper's cell-based distributions.
+    """
+
+    bins: int = 100
+
+    name = "statistics"
+
+    def run(
+        self,
+        sim,
+        step: int,
+        a: float,
+        comm: Communicator | None,
+        context: dict[str, Any] | None = None,
+    ) -> Histogram:
+        from ..hacc.mesh import cic_deposit, density_contrast
+
+        mesh = cic_deposit(sim.local.positions, sim.config.mesh_size)
+        if comm is not None:
+            mesh = comm.allreduce(mesh)
+        delta = density_contrast(mesh)
+        return histogram(delta.ravel(), bins=self.bins)
+
+
+@dataclass
+class VoidFinderTool(AnalysisTool):
+    """In situ void finding (paper §V: move component labeling in situ).
+
+    Consumes the tessellation tool's result when it ran earlier at the same
+    step (list it first in the config); otherwise computes its own
+    distributed tessellation and labels components with the one-collective
+    boundary-merge algorithm.  ``vmin_fraction`` applies the paper's
+    fraction-of-volume-range threshold rule; an absolute ``vmin`` wins if
+    both are set.
+    """
+
+    ghost: float = 4.0
+    vmin: float | None = None
+    vmin_fraction: float = 0.1
+    min_cells: int = 1
+    compute_minkowski: bool = False
+
+    name = "void_finder"
+
+    def run(
+        self,
+        sim,
+        step: int,
+        a: float,
+        comm: Communicator | None,
+        context: dict[str, Any] | None = None,
+    ):
+        from ..analysis.voids import find_voids, volume_threshold_for_fraction
+
+        tess = (context or {}).get("tessellation")
+        if tess is None:
+            tess = TessellationTool(ghost=self.ghost).run(sim, step, a, comm)
+        vmin = self.vmin
+        if vmin is None:
+            vmin = volume_threshold_for_fraction(tess, self.vmin_fraction)
+        return find_voids(
+            tess,
+            vmin=vmin,
+            min_cells=self.min_cells,
+            compute_minkowski=self.compute_minkowski,
+        )
+
+
+@dataclass
+class CellStatisticsTool(AnalysisTool):
+    """In situ histogram summaries of cell volumes and density contrast
+    (paper §V: move histogram summary statistics in situ)."""
+
+    ghost: float = 4.0
+    bins: int = 100
+
+    name = "cell_statistics"
+
+    def run(
+        self,
+        sim,
+        step: int,
+        a: float,
+        comm: Communicator | None,
+        context: dict[str, Any] | None = None,
+    ) -> dict[str, Histogram]:
+        from ..analysis.statistics import density_contrast
+
+        tess = (context or {}).get("tessellation")
+        if tess is None:
+            tess = TessellationTool(ghost=self.ghost).run(sim, step, a, comm)
+        vols = tess.volumes()
+        return {
+            "volume": histogram(vols, bins=self.bins),
+            "density_contrast": histogram(density_contrast(vols), bins=self.bins),
+        }
+
+
+#: Name -> tool class, extended by user registrations
+#: (:meth:`CosmologyToolsFramework.register`).
+TOOL_REGISTRY: dict[str, type[AnalysisTool]] = {
+    TessellationTool.name: TessellationTool,
+    HaloFinderTool.name: HaloFinderTool,
+    StatisticsTool.name: StatisticsTool,
+    VoidFinderTool.name: VoidFinderTool,
+    CellStatisticsTool.name: CellStatisticsTool,
+}

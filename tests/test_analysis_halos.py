@@ -1,0 +1,131 @@
+"""Tests for the friends-of-friends halo finder."""
+
+import numpy as np
+import pytest
+
+from repro.diy.bounds import Bounds
+from repro.diy.comm import run_parallel
+from repro.diy.decomposition import Decomposition
+from repro.analysis.halos import fof_halos, fof_halos_distributed
+
+
+def clustered_points(seed=0, size=10.0):
+    """Three compact groups + sparse background, inside a periodic box."""
+    rng = np.random.default_rng(seed)
+    centers = np.array([[2, 2, 2], [8, 8, 8], [2, 8, 5]], dtype=float)
+    groups = [rng.normal(c, 0.12, size=(30, 3)) for c in centers]
+    bg = rng.uniform(0, size, size=(25, 3))
+    pts = np.vstack(groups + [bg]) % size
+    return pts
+
+
+class TestSerialFOF:
+    def test_finds_planted_groups(self):
+        pts = clustered_points(1)
+        cat = fof_halos(pts, linking_length=0.4, domain=Bounds.cube(10.0),
+                        min_members=10)
+        assert cat.num_halos == 3
+        assert all(h.mass >= 25 for h in cat.halos)
+
+    def test_masses_sorted_descending(self):
+        pts = clustered_points(2)
+        cat = fof_halos(pts, 0.4, Bounds.cube(10.0), min_members=5)
+        m = cat.masses()
+        assert np.all(m[:-1] >= m[1:])
+
+    def test_min_members_threshold(self):
+        pts = clustered_points(3)
+        few = fof_halos(pts, 0.4, Bounds.cube(10.0), min_members=40)
+        assert few.num_halos == 0
+
+    def test_linking_length_controls_merging(self):
+        pts = clustered_points(4)
+        small = fof_halos(pts, 0.2, Bounds.cube(10.0), min_members=5)
+        huge = fof_halos(pts, 8.0, Bounds.cube(10.0), min_members=5)
+        assert huge.num_halos == 1  # everything links up
+        assert huge.halos[0].mass == len(pts)
+        assert small.num_halos >= 3
+
+    def test_periodic_group_across_seam(self):
+        """A group straddling the periodic boundary is one halo."""
+        rng = np.random.default_rng(5)
+        pts = (rng.normal(0.0, 0.1, size=(40, 3))) % 10.0  # wraps the corner
+        cat = fof_halos(pts, 0.5, Bounds.cube(10.0), min_members=10)
+        assert cat.num_halos == 1
+        assert cat.halos[0].mass == 40
+        # The center must sit near the corner (mod 10), not at box center.
+        c = cat.halos[0].center
+        dist_corner = np.linalg.norm((c + 5.0) % 10.0 - 5.0)
+        assert dist_corner < 0.5
+
+    def test_without_domain_open_boundaries(self):
+        rng = np.random.default_rng(6)
+        pts = np.vstack([
+            rng.normal(0.0, 0.1, size=(20, 3)),
+            rng.normal(5.0, 0.1, size=(20, 3)),
+        ])
+        cat = fof_halos(pts, 0.5, domain=None, min_members=10)
+        assert cat.num_halos == 2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            fof_halos(np.zeros((3, 2)), 0.2)
+        with pytest.raises(ValueError):
+            fof_halos(np.zeros((3, 3)), 0.0)
+
+    def test_custom_ids_propagate(self):
+        rng = np.random.default_rng(7)
+        pts = rng.normal(5.0, 0.1, size=(15, 3))
+        ids = np.arange(15) + 1000
+        cat = fof_halos(pts, 0.5, Bounds.cube(10.0), min_members=10, ids=ids)
+        assert cat.num_halos == 1
+        assert set(cat.halos[0].members) == set(ids)
+
+    def test_mass_function(self):
+        pts = clustered_points(8)
+        cat = fof_halos(pts, 0.4, Bounds.cube(10.0), min_members=5)
+        counts = cat.mass_function(np.array([0, 10, 100]))
+        assert counts.sum() == cat.num_halos
+
+
+class TestDistributedFOF:
+    @pytest.mark.parametrize("nranks", [2, 4])
+    def test_matches_serial(self, nranks):
+        domain = Bounds.cube(10.0)
+        pts = clustered_points(9)
+        ids = np.arange(len(pts), dtype=np.int64)
+        ref = fof_halos(pts, 0.4, domain, min_members=10, ids=ids)
+        decomp = Decomposition.regular(domain, nranks, periodic=True)
+
+        def worker(comm):
+            mine = decomp.locate(pts) == comm.rank
+            return fof_halos_distributed(
+                comm, decomp, pts[mine], ids[mine],
+                linking_length=0.4, min_members=10,
+            )
+
+        catalogs = run_parallel(nranks, worker)
+        for cat in catalogs:
+            assert cat.num_halos == ref.num_halos
+            got = sorted(tuple(h.members) for h in cat.halos)
+            want = sorted(tuple(h.members) for h in ref.halos)
+            assert got == want
+
+    def test_group_split_across_ranks(self):
+        """A halo exactly on a block boundary must not fragment."""
+        domain = Bounds.cube(10.0)
+        rng = np.random.default_rng(10)
+        pts = rng.normal([5.0, 5.0, 5.0], 0.15, size=(40, 3))  # block seam
+        ids = np.arange(40, dtype=np.int64)
+        decomp = Decomposition.regular(domain, 8, periodic=True)
+        ref = fof_halos(pts, 0.5, domain, min_members=10, ids=ids)
+
+        def worker(comm):
+            mine = decomp.locate(pts) == comm.rank
+            return fof_halos_distributed(
+                comm, decomp, pts[mine], ids[mine], 0.5, min_members=10
+            )
+
+        cat = run_parallel(8, worker)[0]
+        assert cat.num_halos == ref.num_halos == 1
+        assert cat.halos[0].mass == 40

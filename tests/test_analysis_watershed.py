@@ -1,0 +1,145 @@
+"""Tests for the Watershed Void Finder."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.watershed import watershed_voids
+
+
+def two_well_field(n=16, centers=((4, 4, 4), (12, 12, 12)), depth=1.0):
+    """A density field with two Gaussian depressions separated by a ridge."""
+    x = np.arange(n)
+    gx, gy, gz = np.meshgrid(x, x, x, indexing="ij")
+    field = np.ones((n, n, n))
+    for c in centers:
+        r2 = (gx - c[0]) ** 2 + (gy - c[1]) ** 2 + (gz - c[2]) ** 2
+        field -= depth * np.exp(-r2 / 8.0)
+    return field
+
+
+class TestWatershedBasics:
+    def test_single_minimum_single_basin(self):
+        field = two_well_field(centers=((8, 8, 8),))
+        res = watershed_voids(field)
+        assert res.num_basins == 1
+        assert res.basin_sizes().sum() == field.size
+        np.testing.assert_array_equal(res.minima[0], [8, 8, 8])
+
+    def test_two_wells_two_basins(self):
+        field = two_well_field()
+        res = watershed_voids(field)
+        assert res.num_basins == 2
+        sizes = res.basin_sizes()
+        assert sizes.sum() == field.size
+        # The wells are symmetric: basins are near-equal.
+        assert abs(sizes[0] - sizes[1]) < 0.2 * field.size
+
+    def test_minima_located_at_well_centers(self):
+        field = two_well_field()
+        res = watershed_voids(field)
+        found = {tuple(m) for m in res.minima}
+        assert found == {(4, 4, 4), (12, 12, 12)}
+
+    def test_ridge_between_basins(self):
+        field = two_well_field()
+        res = watershed_voids(field)
+        assert res.ridge_mask.any()
+        # Ridge cells sit where labels change — all ridge cells have a
+        # differently-labeled neighbor.
+        labels = res.labels
+        ridge_coords = np.argwhere(res.ridge_mask)
+        n = labels.shape[0]
+        for x, y, z in ridge_coords[:20]:
+            neigh = labels[
+                np.ix_(
+                    [(x - 1) % n, x, (x + 1) % n],
+                    [(y - 1) % n, y, (y + 1) % n],
+                    [(z - 1) % n, z, (z + 1) % n],
+                )
+            ]
+            assert len(np.unique(neigh)) > 1
+
+    def test_labels_cover_all_cells(self):
+        rng = np.random.default_rng(0)
+        field = rng.uniform(size=(10, 10, 10))
+        res = watershed_voids(field)
+        assert np.all(res.labels >= 0)
+        assert res.basin_sizes().sum() == 1000
+
+    def test_non_3d_rejected(self):
+        with pytest.raises(ValueError):
+            watershed_voids(np.zeros((4, 4)))
+
+    def test_basin_volumes(self):
+        field = two_well_field()
+        res = watershed_voids(field)
+        vols = res.basin_volumes(cell_volume=0.5)
+        np.testing.assert_allclose(vols, res.basin_sizes() * 0.5)
+
+
+class TestMerging:
+    def test_partial_merge_three_wells(self):
+        """Basins divided by a submerged saddle merge; a real wall survives.
+
+        Wells A and B are close (their saddle sits well below the mean
+        density); well C is separated by a high ridge.  A threshold between
+        the two saddle heights must join exactly A and B — the WVF rule
+        that a 'wall' below the threshold does not separate voids.
+        """
+        n = 16
+        x = np.arange(n)
+        gx, gy, gz = np.meshgrid(x, x, x, indexing="ij")
+        field = np.ones((n, n, n))
+        for c in ((4, 4, 4), (8, 8, 8), (13, 13, 13)):
+            r2 = (gx - c[0]) ** 2 + (gy - c[1]) ** 2 + (gz - c[2]) ** 2
+            field -= np.exp(-r2 / 10.0)
+        raw = watershed_voids(field)
+        assert raw.num_basins == 3
+        saddle_ab = field[6, 6, 6]  # between A and B, deeply submerged
+        merged = watershed_voids(field, merge_threshold=float(saddle_ab) + 0.1)
+        assert merged.num_basins == 2
+        assert merged.labels[4, 4, 4] == merged.labels[8, 8, 8]
+        assert merged.labels[13, 13, 13] != merged.labels[4, 4, 4]
+
+    def test_merge_threshold_above_ridge_joins_everything(self):
+        field = two_well_field()
+        res = watershed_voids(field, merge_threshold=2.0)
+        assert res.num_basins == 1
+
+    def test_merge_threshold_below_all_saddles_is_noop(self):
+        field = two_well_field()
+        raw = watershed_voids(field)
+        kept = watershed_voids(field, merge_threshold=-10.0)
+        assert kept.num_basins == raw.num_basins
+
+    def test_merged_minimum_is_deepest(self):
+        field = two_well_field(depth=1.0)
+        # Make one well slightly deeper.
+        field[4, 4, 4] -= 0.1
+        res = watershed_voids(field, merge_threshold=2.0)
+        assert res.num_basins == 1
+        np.testing.assert_array_equal(res.minima[0], [4, 4, 4])
+
+
+class TestOnSimulationDensity:
+    def test_voids_in_evolved_snapshot(self):
+        """End-to-end: CIC density of an evolved run segments into basins."""
+        from repro.hacc import SimulationConfig, run_simulation
+        from repro.hacc.mesh import cic_deposit
+
+        cfg = SimulationConfig(np_side=16, nsteps=30, seed=5)
+        final = run_simulation(cfg)
+        density = cic_deposit(final.positions, 16)
+        # Smooth a little to suppress shot noise (top-hat via FFT).
+        k = np.fft.fftfreq(16)
+        kk = np.sqrt(
+            k[:, None, None] ** 2 + k[None, :, None] ** 2
+            + np.fft.rfftfreq(16)[None, None, :] ** 2
+        )
+        smooth = np.fft.irfftn(
+            np.fft.rfftn(density) * np.exp(-((kk * 16 / 4) ** 2)), s=density.shape,
+            axes=(0, 1, 2),
+        )
+        res = watershed_voids(smooth, merge_threshold=float(np.median(smooth)))
+        assert 1 <= res.num_basins < 50
+        assert res.basin_sizes().sum() == 16**3

@@ -1,0 +1,165 @@
+"""Tests for the ZOBOV-style zone finder and the slice renderer."""
+
+import numpy as np
+import pytest
+
+from repro.diy.bounds import Bounds
+from repro.core import tessellate
+from repro.analysis import connected_components
+from repro.analysis.render import ascii_render, slice_field, write_pgm
+from repro.analysis.zobov import zobov_voids
+
+
+def two_void_points(seed=0, size=12.0):
+    """A Poisson field with two fully emptied pockets at (3,3,3), (9,9,9)."""
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(0, size, size=(1400, 3))
+    keep = np.ones(len(pts), dtype=bool)
+    for c in (np.array([3.0, 3, 3]), np.array([9.0, 9, 9])):
+        keep &= np.linalg.norm(pts - c, axis=1) > 2.2
+    return pts[keep]
+
+
+class TestZobov:
+    def test_zones_partition_cells(self):
+        pts = two_void_points(1)
+        tess = tessellate(pts, Bounds.cube(12.0), nblocks=2, ghost=4.0)
+        result = zobov_voids(tess)
+        all_members = np.concatenate([z.member_ids for z in result.zones])
+        assert sorted(all_members.tolist()) == sorted(tess.site_ids().tolist())
+
+    def test_cores_are_local_minima(self):
+        pts = two_void_points(2)
+        tess = tessellate(pts, Bounds.cube(12.0), nblocks=1, ghost=4.0)
+        result = zobov_voids(tess)
+        density = {int(s): 1.0 / v for s, v in zip(tess.site_ids(), tess.volumes())}
+        block = tess.blocks[0]
+        nb_of = {
+            int(block.site_ids[i]): block.neighbors_of_cell(i)
+            for i in range(block.num_cells)
+        }
+        for z in result.zones:
+            core = z.core_cell
+            for nb in nb_of[core]:
+                if int(nb) in density:
+                    assert density[int(nb)] >= density[core] - 1e-12
+
+    def test_deep_voids_are_significant(self):
+        pts = two_void_points(3)
+        tess = tessellate(pts, Bounds.cube(12.0), nblocks=1, ghost=4.5)
+        result = zobov_voids(tess)
+        deep = result.significant(min_ratio=1.8)
+        # The two carved pockets give two deep basins (the global minimum
+        # zone counts as infinitely significant), clearly separated in
+        # significance from the Poisson-noise basins (~1.1-1.6).
+        assert len(deep) >= 2
+        # The top two zones' cores sit at the two distinct pockets (their
+        # sites are wall particles whose cells bulge into the hole).
+        sites = np.concatenate([b.sites for b in tess.blocks])
+        ids = np.concatenate([b.site_ids for b in tess.blocks])
+        pos_of = {int(i): s for i, s in zip(ids, sites)}
+        centers = [np.array([3.0, 3, 3]), np.array([9.0, 9, 9])]
+        nearest = [
+            int(np.argmin([np.linalg.norm(pos_of[z.core_cell] - c) for c in centers]))
+            for z in result.zones[:2]
+        ]
+        dists = [
+            np.linalg.norm(pos_of[z.core_cell] - centers[k])
+            for z, k in zip(result.zones[:2], nearest)
+        ]
+        assert sorted(nearest) == [0, 1]  # one core per pocket
+        assert all(d < 3.0 for d in dists)
+
+    def test_global_minimum_zone_never_spills(self):
+        pts = two_void_points(4)
+        tess = tessellate(pts, Bounds.cube(12.0), nblocks=1, ghost=4.0)
+        result = zobov_voids(tess)
+        infinite = [z for z in result.zones if not np.isfinite(z.saddle_density)]
+        assert len(infinite) == 1
+        # It contains the globally largest cell (lowest density).
+        vmax_site = int(tess.site_ids()[np.argmax(tess.volumes())])
+        assert vmax_site in infinite[0].member_ids
+
+    def test_empty_tessellation(self):
+        from repro.core.tessellate import Tessellation
+
+        result = zobov_voids(Tessellation(domain=Bounds.cube(1.0), blocks=[]))
+        assert result.num_zones == 0
+
+    def test_zone_count_reasonable(self):
+        rng = np.random.default_rng(5)
+        pts = rng.uniform(0, 10, size=(500, 3))
+        tess = tessellate(pts, Bounds.cube(10.0), nblocks=2, ghost=4.0)
+        result = zobov_voids(tess)
+        # Poisson noise yields many shallow zones, far fewer than cells.
+        assert 2 <= result.num_zones < 200
+
+
+class TestRender:
+    def _tess(self, seed=0):
+        pts = two_void_points(seed)
+        return tessellate(pts, Bounds.cube(12.0), nblocks=2, ghost=4.0)
+
+    def test_slice_shapes_and_values(self):
+        tess = self._tess(1)
+        img = slice_field(tess, axis=2, resolution=32, value="volume")
+        assert img.shape == (32, 32)
+        assert np.all(img > 0)
+        dens = slice_field(tess, axis=2, resolution=32, value="density")
+        np.testing.assert_allclose(dens, 1.0 / img)
+
+    def test_void_pixels_have_large_volume(self):
+        tess = self._tess(2)
+        img = slice_field(tess, axis=2, coordinate=3.0, resolution=48)
+        lo, hi = tess.domain.as_arrays()
+        # Pixel nearest (3, 3) in the slice plane.
+        res = 48
+        iu = int((3.0 - lo[0]) / (hi[0] - lo[0]) * res)
+        iv = int((3.0 - lo[1]) / (hi[1] - lo[1]) * res)
+        assert img[iu, iv] > np.median(img)
+
+    def test_component_rendering(self):
+        tess = self._tess(3)
+        vmin = float(np.quantile(tess.volumes(), 0.7))
+        lab = connected_components(tess, vmin=vmin)
+        img = slice_field(
+            tess, axis=0, resolution=24, value="component", labeling=lab
+        )
+        assert img.min() == -1  # unlabeled background present
+        assert img.max() >= 0  # some labeled void pixels
+
+    def test_component_requires_labeling(self):
+        with pytest.raises(ValueError):
+            slice_field(self._tess(4), value="component")
+
+    def test_bad_args(self):
+        t = self._tess(5)
+        with pytest.raises(ValueError):
+            slice_field(t, axis=3)
+        with pytest.raises(ValueError):
+            slice_field(t, value="nope")
+
+    def test_ascii_render(self):
+        img = np.arange(16, dtype=float).reshape(4, 4)
+        art = ascii_render(img, log_scale=False)
+        lines = art.split("\n")
+        assert len(lines) == 4 and all(len(l) == 4 for l in lines)
+        assert art[0] == " " and lines[-1][-1] == "@"
+
+    def test_ascii_flat_field(self):
+        art = ascii_render(np.ones((3, 3)))
+        assert set(art.replace("\n", "")) == {" "}
+
+    def test_pgm_output(self, tmp_path):
+        img = np.random.default_rng(0).uniform(1, 10, size=(16, 16))
+        path = tmp_path / "slice.pgm"
+        write_pgm(str(path), img)
+        data = path.read_bytes()
+        assert data.startswith(b"P5\n16 16\n255\n")
+        assert len(data) == len(b"P5\n16 16\n255\n") + 256
+
+    def test_render_rejects_3d(self):
+        with pytest.raises(ValueError):
+            ascii_render(np.zeros((2, 2, 2)))
+        with pytest.raises(ValueError):
+            write_pgm("/tmp/x.pgm", np.zeros((2, 2, 2)))

@@ -1,0 +1,96 @@
+"""Tests for the command-line interfaces."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import sim_main, tess_main
+
+
+class TestTessCLI:
+    def test_random_points_run(self, capsys):
+        rc = tess_main(["--random", "300", "--box", "8", "--blocks", "2",
+                        "--ghost", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cells kept:    300" in out
+        assert "total volume:  512" in out
+
+    def test_npy_input_and_output(self, tmp_path, capsys):
+        pts = np.random.default_rng(0).uniform(0, 6, size=(200, 3))
+        npy = tmp_path / "pts.npy"
+        np.save(npy, pts)
+        out_file = tmp_path / "out.tess"
+        rc = tess_main([str(npy), "--box", "6", "--ghost", "2.5",
+                        "-o", str(out_file)])
+        assert rc == 0
+        assert out_file.exists()
+        from repro.core import read_tessellation
+
+        assert read_tessellation(str(out_file)).num_cells == 200
+
+    def test_requires_exactly_one_source(self, capsys):
+        assert tess_main([]) == 2
+        npy_and_random = ["somefile.npy", "--random", "10"]
+        assert tess_main(npy_and_random) == 2
+
+    def test_bad_npy_shape(self, tmp_path):
+        npy = tmp_path / "bad.npy"
+        np.save(npy, np.zeros((10, 2)))
+        assert tess_main([str(npy)]) == 2
+
+    def test_vmin_culling(self, capsys):
+        rc = tess_main(["--random", "400", "--box", "8", "--vmin", "1.5",
+                        "--ghost", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        kept = int(out.split("cells kept:")[1].split()[0])
+        assert 0 < kept < 400
+
+    def test_nonperiodic_flag(self, capsys):
+        rc = tess_main(["--random", "300", "--box", "8", "--no-periodic",
+                        "--ghost", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        kept = int(out.split("cells kept:")[1].split()[0])
+        assert kept < 300  # boundary cells deleted
+
+
+class TestSimCLI:
+    def _deck(self, tmp_path, tools, sim=None):
+        deck = {"simulation": sim or {"np_side": 8, "nsteps": 4},
+                "tools": tools}
+        path = tmp_path / "deck.json"
+        path.write_text(json.dumps(deck))
+        return str(path)
+
+    def test_full_run(self, tmp_path, capsys):
+        deck = self._deck(
+            tmp_path,
+            [{"tool": "tessellation", "params": {"ghost": 3.5}},
+             {"tool": "void_finder", "params": {"min_cells": 2}}],
+        )
+        rc = sim_main([deck, "--ranks", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[tessellation @ step 4] 512 cells" in out
+        assert "voids at vmin=" in out
+
+    def test_empty_tools_rejected(self, tmp_path):
+        deck = self._deck(tmp_path, [])
+        assert sim_main([deck]) == 2
+
+    def test_unknown_simulation_key(self, tmp_path):
+        deck = self._deck(
+            tmp_path,
+            [{"tool": "statistics"}],
+            sim={"np_side": 8, "nsteps": 2, "warp_factor": 9},
+        )
+        assert sim_main([deck]) == 2
+
+    def test_statistics_description(self, tmp_path, capsys):
+        deck = self._deck(tmp_path, [{"tool": "statistics"}])
+        rc = sim_main([deck])
+        assert rc == 0
+        assert "histogram n=" in capsys.readouterr().out

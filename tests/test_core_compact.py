@@ -1,0 +1,125 @@
+"""Tests for the compact tessellation encoding (repro.core.compact)."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diy.bounds import Bounds
+from repro.core import tessellate
+from repro.core.compact import (
+    _read_varints,
+    _unzigzag,
+    _write_varints,
+    _zigzag,
+    compact_decode,
+    compact_encode,
+)
+from repro.diy.mpi_io import pack_arrays
+
+
+class TestVarints:
+    @pytest.mark.parametrize(
+        "values",
+        [
+            [],
+            [0],
+            [127],
+            [128],
+            [0, 1, 127, 128, 129, 16383, 16384],
+            [2**40, 2**63 - 1],
+        ],
+    )
+    def test_roundtrip_cases(self, values):
+        buf = io.BytesIO()
+        _write_varints(buf, np.asarray(values, dtype=np.uint64))
+        buf.seek(0)
+        out = _read_varints(buf)
+        np.testing.assert_array_equal(out, np.asarray(values, dtype=np.uint64))
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=2**62), max_size=200))
+    def test_roundtrip_property(self, values):
+        buf = io.BytesIO()
+        _write_varints(buf, np.asarray(values, dtype=np.uint64))
+        buf.seek(0)
+        np.testing.assert_array_equal(
+            _read_varints(buf), np.asarray(values, dtype=np.uint64)
+        )
+
+    def test_small_values_one_byte(self):
+        buf = io.BytesIO()
+        _write_varints(buf, np.arange(100, dtype=np.uint64))
+        assert len(buf.getvalue()) == 16 + 100  # header + 1 byte each
+
+
+class TestZigzag:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=-(2**60), max_value=2**60), max_size=100))
+    def test_roundtrip(self, values):
+        v = np.asarray(values, dtype=np.int64)
+        np.testing.assert_array_equal(_unzigzag(_zigzag(v)), v)
+
+    def test_small_magnitudes_stay_small(self):
+        z = _zigzag(np.array([-1, 1, -2, 2]))
+        assert z.max() <= 4  # zig-zag keeps near-zero deltas tiny
+
+
+class TestCompactBlock:
+    def _block(self, seed=1, n=800):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(0, 10, size=(n, 3))
+        t = tessellate(pts, Bounds.cube(10.0), nblocks=2, ghost=3.5)
+        return t.blocks[0]
+
+    def test_roundtrip_structure_exact(self):
+        b = self._block()
+        d = compact_decode(compact_encode(b))
+        assert d.gid == b.gid
+        assert d.extents == b.extents
+        np.testing.assert_array_equal(d.site_ids, b.site_ids)
+        np.testing.assert_array_equal(d.face_neighbors, b.face_neighbors)
+        np.testing.assert_array_equal(d.face_vertices, b.face_vertices)
+        np.testing.assert_array_equal(d.face_offsets, b.face_offsets)
+        np.testing.assert_array_equal(d.cell_face_offsets, b.cell_face_offsets)
+
+    def test_geometry_float32_precision(self):
+        b = self._block(seed=2)
+        d = compact_decode(compact_encode(b))
+        np.testing.assert_allclose(d.vertices, b.vertices, atol=1e-5)
+        np.testing.assert_allclose(d.volumes, b.volumes, rtol=1e-5)
+        np.testing.assert_allclose(d.areas, b.areas, rtol=1e-5)
+        np.testing.assert_allclose(d.sites, b.sites, atol=1e-5)
+
+    def test_substantially_smaller_than_standard(self):
+        b = self._block(seed=3)
+        compact = compact_encode(b)
+        standard = pack_arrays(b.to_arrays())
+        assert len(compact) < 0.5 * len(standard)
+
+    def test_empty_block(self):
+        from repro.core.data_model import VoronoiBlock
+
+        empty = VoronoiBlock.from_cells(0, Bounds.cube(1.0), [])
+        d = compact_decode(compact_encode(empty))
+        assert d.num_cells == 0
+        assert d.num_faces == 0
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="compact"):
+            compact_decode(b"JUNKJUNKJUNK" + b"\0" * 64)
+
+    def test_decoded_block_supports_analysis(self):
+        """Decoded blocks behave like originals in the analysis pipeline."""
+        b = self._block(seed=4)
+        d = compact_decode(compact_encode(b))
+        assert d.faces_per_cell() == pytest.approx(b.faces_per_cell())
+        for i in (0, d.num_cells // 2):
+            np.testing.assert_array_equal(
+                d.neighbors_of_cell(i), b.neighbors_of_cell(i)
+            )
+            got = [f.tolist() for f in d.faces_of_cell(i)]
+            want = [f.tolist() for f in b.faces_of_cell(i)]
+            assert got == want

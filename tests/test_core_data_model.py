@@ -1,0 +1,128 @@
+"""Direct tests of the block data model (repro.core.data_model)."""
+
+import numpy as np
+import pytest
+
+from repro.diy.bounds import Bounds
+from repro.core import tessellate
+from repro.core.cell import VoronoiCell
+from repro.core.data_model import BlockSizeReport, VoronoiBlock
+from repro.geometry.polyhedron import ConvexPolyhedron
+
+
+def cube_cell(site_id: int, origin: float, size: float = 1.0) -> VoronoiCell:
+    poly = ConvexPolyhedron.from_bounds(Bounds.cube(size, origin=origin))
+    return VoronoiCell(
+        site_id=site_id,
+        site=np.full(3, origin + size / 2),
+        vertices=poly.vertices,
+        faces=poly.faces,
+        neighbor_ids=np.arange(6, dtype=np.int64) + 100,
+        volume=size**3,
+        area=6 * size**2,
+    )
+
+
+class TestFromCells:
+    def test_empty(self):
+        b = VoronoiBlock.from_cells(0, Bounds.cube(1.0), [])
+        assert b.num_cells == 0
+        assert b.num_faces == 0
+        assert b.num_vertices == 0
+        assert b.faces_per_cell() == 0.0
+        assert b.vertices_per_face() == 0.0
+        assert b.vertex_sharing() == 0.0
+
+    def test_single_cube(self):
+        b = VoronoiBlock.from_cells(0, Bounds.cube(2.0), [cube_cell(7, 0.0)])
+        assert b.num_cells == 1
+        assert b.num_faces == 6
+        assert b.num_vertices == 8
+        assert b.faces_per_cell() == 6.0
+        assert b.vertices_per_face() == 4.0
+        assert b.vertex_sharing() == pytest.approx(24 / 8)
+        np.testing.assert_array_equal(b.site_ids, [7])
+        np.testing.assert_array_equal(
+            np.sort(b.neighbors_of_cell(0)), np.arange(6) + 100
+        )
+
+    def test_adjacent_cubes_share_vertices(self):
+        """Two unit cubes sharing a face pool their common 4 vertices."""
+        cells = [cube_cell(1, 0.0), cube_cell(2, 1.0)]
+        b = VoronoiBlock.from_cells(0, Bounds.cube(3.0), cells)
+        # 8 + 8 corners with 4 shared (the cubes touch at one corner-face?
+        # origin 0 cube spans [0,1]^3, origin 1 spans [1,2]^3: they share
+        # exactly one corner point (1,1,1).
+        assert b.num_vertices == 15
+        assert b.num_cells == 2
+
+    def test_cells_roundtrip(self):
+        cells = [cube_cell(3, 0.0), cube_cell(9, 2.0)]
+        b = VoronoiBlock.from_cells(1, Bounds.cube(4.0), cells)
+        back = b.cells()
+        assert [c.site_id for c in back] == [3, 9]
+        for orig, rec in zip(cells, back):
+            assert rec.volume == pytest.approx(orig.volume)
+            assert rec.area == pytest.approx(orig.area)
+            assert rec.num_faces == orig.num_faces
+            np.testing.assert_array_equal(
+                np.sort(rec.neighbor_ids), np.sort(orig.neighbor_ids)
+            )
+            # Same vertex sets (order may change through the pool).
+            a = {tuple(np.round(v, 9)) for v in orig.vertices}
+            z = {tuple(np.round(v, 9)) for v in rec.vertices}
+            assert a == z
+
+    def test_to_from_arrays_roundtrip(self):
+        cells = [cube_cell(5, 0.0)]
+        b = VoronoiBlock.from_cells(2, Bounds.cube(2.0), cells)
+        back = VoronoiBlock.from_arrays(b.to_arrays())
+        assert back.gid == 2
+        assert back.extents == b.extents
+        np.testing.assert_array_equal(back.face_vertices, b.face_vertices)
+        np.testing.assert_array_equal(back.volumes, b.volumes)
+
+
+class TestSizeReport:
+    def test_breakdown_sums(self):
+        pts = np.random.default_rng(0).uniform(0, 8, (300, 3))
+        tess = tessellate(pts, Bounds.cube(8.0), nblocks=1, ghost=3.0)
+        rep = tess.blocks[0].size_report()
+        assert rep.total_bytes == rep.geometry_bytes + rep.connectivity_bytes
+        assert 0.0 < rep.geometry_fraction < 1.0
+
+    def test_empty_report(self):
+        rep = BlockSizeReport(0, 0)
+        assert rep.total_bytes == 0
+        assert rep.geometry_fraction == 0.0
+
+    def test_connectivity_dominates_realistic_blocks(self):
+        pts = np.random.default_rng(1).uniform(0, 10, (500, 3))
+        tess = tessellate(pts, Bounds.cube(10.0), nblocks=2, ghost=3.5)
+        for b in tess.blocks:
+            assert b.size_report().geometry_fraction < 0.5
+
+
+class TestCellProperties:
+    def test_density_and_neighbors(self):
+        c = cube_cell(1, 0.0, size=2.0)
+        assert c.density == pytest.approx(1.0 / 8.0)
+        np.testing.assert_array_equal(c.real_neighbors(), c.neighbor_ids)
+
+    def test_wall_neighbors_filtered(self):
+        c = cube_cell(1, 0.0)
+        c.neighbor_ids = np.array([5, -1, 7, -2, 9, -3], dtype=np.int64)
+        np.testing.assert_array_equal(c.real_neighbors(), [5, 7, 9])
+
+    def test_degenerate_geometry_rejected(self):
+        from repro.core.cell import VoronoiCell
+        from repro.geometry.voronoi_cells import VoronoiCellGeometry
+
+        geom = VoronoiCellGeometry(site=0, polyhedron=None, complete=False)
+        with pytest.raises(ValueError):
+            VoronoiCell.from_geometry(geom, np.zeros(3), np.arange(1), 0)
+
+    def test_zero_volume_density_inf(self):
+        c = cube_cell(1, 0.0)
+        c.volume = 0.0
+        assert c.density == np.inf

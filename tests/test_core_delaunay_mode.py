@@ -1,0 +1,142 @@
+"""Tests for the parallel Delaunay mode and the cell-field sampler."""
+
+import numpy as np
+import pytest
+
+from repro.diy.bounds import Bounds
+from repro.core import tessellate
+from repro.core.delaunay_mode import tessellate_delaunay
+from repro.analysis.field import deposit_to_grid, sample_cells
+
+
+def poisson(n, size, seed):
+    return np.random.default_rng(seed).uniform(0, size, size=(n, 3))
+
+
+class TestParallelDelaunay:
+    def test_tets_tile_the_box(self):
+        pts = poisson(400, 10.0, 0)
+        dt = tessellate_delaunay(pts, Bounds.cube(10.0), nblocks=1, ghost=4.0)
+        assert dt.num_tetrahedra > 0
+        assert dt.total_volume() == pytest.approx(1000.0, rel=1e-9)
+
+    @pytest.mark.parametrize("nblocks", [2, 4, 8])
+    def test_block_count_invariance(self, nblocks):
+        """The owned tet set is identical for any decomposition."""
+        pts = poisson(350, 10.0, 1)
+        serial = tessellate_delaunay(pts, Bounds.cube(10.0), nblocks=1, ghost=4.0)
+        par = tessellate_delaunay(
+            pts, Bounds.cube(10.0), nblocks=nblocks, ghost=4.0
+        )
+        assert par.total_volume() == pytest.approx(serial.total_volume(), rel=1e-9)
+        np.testing.assert_array_equal(
+            par.all_tetrahedra(), serial.all_tetrahedra()
+        )
+
+    def test_no_duplicate_tets(self):
+        pts = poisson(300, 8.0, 2)
+        dt = tessellate_delaunay(pts, Bounds.cube(8.0), nblocks=4, ghost=3.0)
+        tets = dt.all_tetrahedra()
+        unique = np.unique(tets, axis=0)
+        assert len(unique) == len(tets)
+
+    def test_empty_circumsphere_property(self):
+        """No particle may lie strictly inside any owned circumsphere."""
+        from repro.geometry.delaunay import circumradii
+
+        pts = poisson(200, 8.0, 3)
+        domain = Bounds.cube(8.0)
+        dt = tessellate_delaunay(pts, domain, nblocks=2, ghost=3.5)
+        from repro.diy.bounds import minimum_image
+
+        for block in dt.blocks:
+            for t in range(0, block.num_tetrahedra, 37):
+                c = block.circumcenters[t]
+                corner = pts[block.tetrahedra[t, 0] % len(pts)]
+                r = np.linalg.norm(minimum_image(corner - c, domain))
+                d = np.linalg.norm(minimum_image(pts - c, domain), axis=1)
+                # Tolerate the 4 defining vertices on the sphere itself.
+                assert (d < r - 1e-9).sum() == 0
+
+    def test_defaults_and_validation(self):
+        pts = poisson(100, 6.0, 4)
+        dt = tessellate_delaunay(pts, Bounds.cube(6.0))  # default ghost
+        assert dt.total_volume() == pytest.approx(216.0, rel=1e-9)
+        with pytest.raises(ValueError):
+            tessellate_delaunay(np.zeros((5, 2)), Bounds.cube(1.0))
+        with pytest.raises(ValueError):
+            tessellate_delaunay(np.full((5, 3), 9.0), Bounds.cube(1.0))
+
+    def test_dual_consistency_with_voronoi(self):
+        """Delaunay edges are exactly the Voronoi face-adjacency graph."""
+        pts = poisson(200, 8.0, 5)
+        domain = Bounds.cube(8.0)
+        dt = tessellate_delaunay(pts, domain, nblocks=1, ghost=3.5)
+        vor = tessellate(pts, domain, nblocks=1, ghost=3.5)
+
+        d_edges = set()
+        for tet in dt.all_tetrahedra():
+            for i in range(4):
+                for j in range(i + 1, 4):
+                    d_edges.add((min(tet[i], tet[j]), max(tet[i], tet[j])))
+        v_edges = set()
+        for block in vor.blocks:
+            for i in range(block.num_cells):
+                sid = int(block.site_ids[i])
+                for nb in block.neighbors_of_cell(i):
+                    nb = int(nb)
+                    if nb >= 0:
+                        v_edges.add((min(sid, nb), max(sid, nb)))
+        assert d_edges == v_edges
+
+
+class TestFieldSampling:
+    def _tess(self, seed=0):
+        pts = poisson(300, 8.0, seed)
+        return tessellate(pts, Bounds.cube(8.0), nblocks=2, ghost=3.5), pts
+
+    def test_sites_sample_their_own_cells(self):
+        tess, pts = self._tess(1)
+        sites = np.concatenate([b.sites for b in tess.blocks])
+        vols = sample_cells(tess, sites, value="volume")
+        np.testing.assert_allclose(vols, tess.volumes())
+
+    def test_density_is_inverse_volume(self):
+        tess, pts = self._tess(2)
+        q = np.random.default_rng(0).uniform(0, 8, (50, 3))
+        d = sample_cells(tess, q, value="density")
+        v = sample_cells(tess, q, value="volume")
+        np.testing.assert_allclose(d, 1.0 / v)
+
+    def test_custom_per_cell_values(self):
+        tess, _ = self._tess(3)
+        labels = np.arange(tess.num_cells, dtype=float)
+        sites = np.concatenate([b.sites for b in tess.blocks])
+        got = sample_cells(tess, sites, value=labels)
+        np.testing.assert_allclose(got, labels)
+
+    def test_periodic_queries_wrap(self):
+        tess, _ = self._tess(4)
+        q = np.array([[1.0, 2.0, 3.0]])
+        a = sample_cells(tess, q)
+        b = sample_cells(tess, q + 8.0)  # one box over
+        np.testing.assert_allclose(a, b)
+
+    def test_volume_weighted_grid_mean(self):
+        """Sampling 'volume' on a fine grid estimates E_volume-weighted[V]."""
+        tess, _ = self._tess(5)
+        grid = deposit_to_grid(tess, grid_size=24, value="volume")
+        v = tess.volumes()
+        expect = float((v * v).sum() / v.sum())  # volume-weighted mean
+        assert grid.mean() == pytest.approx(expect, rel=0.1)
+
+    def test_validation(self):
+        tess, _ = self._tess(6)
+        with pytest.raises(ValueError):
+            sample_cells(tess, np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            sample_cells(tess, np.zeros((3, 3)), value="nope")
+        with pytest.raises(ValueError):
+            sample_cells(tess, np.zeros((3, 3)), value=np.ones(5))
+        with pytest.raises(ValueError):
+            deposit_to_grid(tess, 0)

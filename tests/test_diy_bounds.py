@@ -1,0 +1,163 @@
+"""Unit and property tests for repro.diy.bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diy.bounds import (
+    Bounds,
+    minimum_image,
+    periodic_translation,
+    wrap_positions,
+)
+
+
+class TestBoundsBasics:
+    def test_cube_constructor(self):
+        b = Bounds.cube(10.0)
+        assert b.min == (0.0, 0.0, 0.0)
+        assert b.max == (10.0, 10.0, 10.0)
+        assert b.dim == 3
+        assert b.volume == pytest.approx(1000.0)
+
+    def test_cube_with_origin(self):
+        b = Bounds.cube(4.0, dim=2, origin=-2.0)
+        assert b.min == (-2.0, -2.0)
+        assert b.max == (2.0, 2.0)
+
+    def test_from_arrays(self):
+        b = Bounds.from_arrays(np.zeros(3), np.ones(3) * 5)
+        assert b == Bounds((0, 0, 0), (5, 5, 5))
+
+    def test_mismatched_corners_raise(self):
+        with pytest.raises(ValueError):
+            Bounds((0.0, 0.0), (1.0, 1.0, 1.0))
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            Bounds((1.0, 0.0, 0.0), (0.0, 1.0, 1.0))
+
+    def test_zero_thickness_allowed(self):
+        # min == max on an axis is permitted (used for planar slabs).
+        b = Bounds((0.0, 0.0), (1.0, 0.0))
+        assert b.volume == 0.0
+
+    def test_sizes_and_center(self):
+        b = Bounds((1.0, 2.0, 3.0), (5.0, 4.0, 9.0))
+        np.testing.assert_allclose(b.sizes, [4.0, 2.0, 6.0])
+        np.testing.assert_allclose(b.center, [3.0, 3.0, 6.0])
+
+    def test_hashable_and_frozen(self):
+        b = Bounds.cube(1.0)
+        assert hash(b) == hash(Bounds.cube(1.0))
+        with pytest.raises(AttributeError):
+            b.min = (1, 2, 3)  # type: ignore[misc]
+
+
+class TestContainment:
+    def test_half_open_semantics(self):
+        b = Bounds.cube(2.0)
+        assert b.contains([0.0, 0.0, 0.0])
+        assert not b.contains([2.0, 0.0, 0.0])  # upper face excluded
+        assert b.contains_closed([2.0, 2.0, 2.0])  # but closed test includes it
+
+    def test_vectorized_contains(self):
+        b = Bounds.cube(1.0)
+        pts = np.array([[0.5, 0.5, 0.5], [1.5, 0.5, 0.5], [-0.1, 0.5, 0.5]])
+        np.testing.assert_array_equal(b.contains(pts), [True, False, False])
+
+    def test_distance_to_boundary(self):
+        b = Bounds.cube(10.0)
+        pts = np.array([[5.0, 5.0, 5.0], [1.0, 5.0, 5.0], [9.5, 5.0, 5.0]])
+        np.testing.assert_allclose(b.distance_to_boundary(pts), [5.0, 1.0, 0.5])
+
+    def test_distance_outside_is_zero(self):
+        b = Bounds.cube(10.0)
+        assert b.distance_to_boundary(np.array([[11.0, 5.0, 5.0]]))[0] == 0.0
+
+    def test_corners_count(self):
+        assert Bounds.cube(1.0).corners().shape == (8, 3)
+        assert Bounds.cube(1.0, dim=2).corners().shape == (4, 2)
+
+
+class TestGeometryOps:
+    def test_grown(self):
+        g = Bounds.cube(10.0).grown(2.0)
+        assert g.min == (-2.0,) * 3
+        assert g.max == (12.0,) * 3
+
+    def test_grown_anisotropic(self):
+        g = Bounds.cube(10.0).grown(np.array([1.0, 2.0, 3.0]))
+        assert g.min == (-1.0, -2.0, -3.0)
+
+    def test_clamped_to(self):
+        a = Bounds.cube(10.0).grown(5.0)
+        c = a.clamped_to(Bounds.cube(10.0))
+        assert c == Bounds.cube(10.0)
+
+    def test_clamped_disjoint_raises(self):
+        with pytest.raises(ValueError):
+            Bounds.cube(1.0).clamped_to(Bounds.cube(1.0, origin=5.0))
+
+    def test_intersects(self):
+        a = Bounds.cube(1.0)
+        assert a.intersects(Bounds.cube(1.0, origin=1.0))  # shared corner
+        assert not a.intersects(Bounds.cube(1.0, origin=1.5))
+
+
+class TestPeriodicHelpers:
+    def test_wrap_positions(self):
+        d = Bounds.cube(10.0)
+        pts = np.array([[10.5, -0.5, 5.0], [25.0, 5.0, 5.0]])
+        wrapped = wrap_positions(pts, d)
+        np.testing.assert_allclose(wrapped, [[0.5, 9.5, 5.0], [5.0, 5.0, 5.0]])
+
+    def test_wrap_with_offset_origin(self):
+        d = Bounds.cube(10.0, origin=-5.0)
+        np.testing.assert_allclose(wrap_positions(np.array([[6.0, 0.0, 0.0]]), d),
+                                   [[-4.0, 0.0, 0.0]])
+
+    def test_periodic_translation_sign(self):
+        # wrap=+1 crosses the upper face: a particle near the top must arrive
+        # just below the neighbor's lower ghost edge, i.e. shift by -L.
+        d = Bounds.cube(10.0)
+        t = periodic_translation(np.array([1, 0, -1]), d)
+        np.testing.assert_allclose(t, [-10.0, 0.0, 10.0])
+
+    def test_minimum_image(self):
+        d = Bounds.cube(10.0)
+        delta = np.array([[9.0, -9.0, 4.0]])
+        np.testing.assert_allclose(minimum_image(delta, d), [[-1.0, 1.0, 4.0]])
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+        min_size=3,
+        max_size=3,
+    ),
+    st.floats(min_value=0.1, max_value=100.0),
+)
+def test_wrap_is_idempotent_and_in_domain(point, size):
+    d = Bounds.cube(size)
+    p = np.array([point])
+    w = wrap_positions(p, d)
+    assert np.all(w >= 0.0) and np.all(w < size + 1e-9)
+    np.testing.assert_allclose(wrap_positions(w, d), w, atol=1e-9)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=-50.0, max_value=50.0, allow_nan=False),
+        min_size=3,
+        max_size=3,
+    ),
+    st.floats(min_value=1.0, max_value=100.0),
+)
+def test_minimum_image_within_half_box(delta, size):
+    d = Bounds.cube(size)
+    m = minimum_image(np.array(delta), d)
+    assert np.all(np.abs(m) <= size / 2 + 1e-9)

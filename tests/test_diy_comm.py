@@ -1,0 +1,225 @@
+"""Tests for the thread-SPMD communicator (repro.diy.comm)."""
+
+import numpy as np
+import pytest
+
+from repro.diy.comm import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Communicator,
+    ParallelError,
+    run_parallel,
+)
+
+
+class TestRunParallel:
+    def test_serial_runs_inline(self):
+        def f(comm):
+            assert comm.rank == 0 and comm.size == 1
+            return "ok"
+
+        assert run_parallel(1, f) == ["ok"]
+
+    def test_results_in_rank_order(self):
+        results = run_parallel(4, lambda comm: comm.rank * 10)
+        assert results == [0, 10, 20, 30]
+
+    def test_extra_args_forwarded(self):
+        def f(comm, a, b=0):
+            return a + b + comm.rank
+
+        assert run_parallel(2, f, 5, b=2) == [7, 8]
+
+    def test_zero_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            run_parallel(0, lambda comm: None)
+
+    def test_exception_propagates_with_rank(self):
+        def f(comm):
+            if comm.rank == 2:
+                raise ValueError("boom")
+            comm.barrier()  # others wait; must be released by the abort
+
+        with pytest.raises(ParallelError) as exc:
+            run_parallel(4, f)
+        assert exc.value.rank == 2
+        assert isinstance(exc.value.original, ValueError)
+
+    def test_exception_unblocks_pending_recv(self):
+        def f(comm):
+            if comm.rank == 0:
+                raise RuntimeError("early death")
+            comm.recv(source=0, tag=9)  # never sent
+
+        with pytest.raises(ParallelError) as exc:
+            run_parallel(2, f)
+        assert exc.value.rank == 0
+
+    def test_mpi4py_spellings(self):
+        def f(comm):
+            return (comm.Get_rank(), comm.Get_size())
+
+        assert run_parallel(3, f) == [(0, 3), (1, 3), (2, 3)]
+
+
+class TestPointToPoint:
+    def test_send_recv_pairwise(self):
+        def f(comm):
+            peer = comm.size - 1 - comm.rank
+            comm.send(("hello", comm.rank), dest=peer, tag=7)
+            msg, src = comm.recv(source=peer, tag=7)
+            assert msg == "hello" and src == peer
+            return True
+
+        assert all(run_parallel(4, f))
+
+    def test_message_order_preserved(self):
+        def f(comm):
+            if comm.rank == 0:
+                for i in range(20):
+                    comm.send(i, dest=1, tag=3)
+                return None
+            return [comm.recv(source=0, tag=3) for _ in range(20)]
+
+        assert run_parallel(2, f)[1] == list(range(20))
+
+    def test_tag_matching(self):
+        def f(comm):
+            if comm.rank == 0:
+                comm.send("a", dest=1, tag=1)
+                comm.send("b", dest=1, tag=2)
+                return None
+            # Receive out of send order by tag.
+            b = comm.recv(source=0, tag=2)
+            a = comm.recv(source=0, tag=1)
+            return (a, b)
+
+        assert run_parallel(2, f)[1] == ("a", "b")
+
+    def test_any_source_any_tag(self):
+        def f(comm):
+            if comm.rank == 0:
+                got = {comm.recv(ANY_SOURCE, ANY_TAG) for _ in range(comm.size - 1)}
+                return got
+            comm.send(comm.rank, dest=0, tag=comm.rank)
+            return None
+
+        assert run_parallel(4, f)[0] == {1, 2, 3}
+
+    def test_send_to_invalid_rank(self):
+        def f(comm):
+            comm.send(1, dest=5)
+
+        with pytest.raises(ParallelError):
+            run_parallel(2, f)
+
+    def test_numpy_payloads(self):
+        def f(comm):
+            if comm.rank == 0:
+                comm.send(np.arange(10.0), dest=1, tag=0)
+                return None
+            arr = comm.recv(source=0, tag=0)
+            return float(arr.sum())
+
+        assert run_parallel(2, f)[1] == 45.0
+
+
+class TestCollectives:
+    @pytest.mark.parametrize("n", [1, 2, 5])
+    def test_bcast(self, n):
+        def f(comm):
+            data = {"k": 42} if comm.rank == 0 else None
+            return comm.bcast(data, root=0)
+
+        assert run_parallel(n, f) == [{"k": 42}] * n
+
+    def test_bcast_nonzero_root(self):
+        def f(comm):
+            return comm.bcast(comm.rank if comm.rank == 2 else None, root=2)
+
+        assert run_parallel(4, f) == [2, 2, 2, 2]
+
+    def test_gather(self):
+        def f(comm):
+            return comm.gather(comm.rank**2, root=0)
+
+        out = run_parallel(4, f)
+        assert out[0] == [0, 1, 4, 9]
+        assert out[1] is None
+
+    def test_allgather(self):
+        def f(comm):
+            return comm.allgather(chr(ord("a") + comm.rank))
+
+        assert run_parallel(3, f) == [["a", "b", "c"]] * 3
+
+    def test_scatter(self):
+        def f(comm):
+            objs = [i * 100 for i in range(comm.size)] if comm.rank == 0 else None
+            return comm.scatter(objs, root=0)
+
+        assert run_parallel(4, f) == [0, 100, 200, 300]
+
+    def test_scatter_wrong_length_raises(self):
+        def f(comm):
+            return comm.scatter([1] if comm.rank == 0 else None, root=0)
+
+        with pytest.raises(ParallelError):
+            run_parallel(2, f)
+
+    def test_reduce_default_sum(self):
+        def f(comm):
+            return comm.reduce(comm.rank + 1, root=0)
+
+        assert run_parallel(4, f)[0] == 10
+
+    def test_allreduce_custom_op(self):
+        def f(comm):
+            return comm.allreduce(comm.rank + 1, op=max)
+
+        assert run_parallel(5, f) == [5] * 5
+
+    def test_exscan(self):
+        def f(comm):
+            return comm.exscan(comm.rank + 1)
+
+        # sizes 1,2,3,4 -> offsets None,1,3,6
+        assert run_parallel(4, f) == [None, 1, 3, 6]
+
+    def test_alltoall(self):
+        def f(comm):
+            objs = [(comm.rank, dst) for dst in range(comm.size)]
+            return comm.alltoall(objs)
+
+        out = run_parallel(3, f)
+        for r, row in enumerate(out):
+            assert row == [(src, r) for src in range(3)]
+
+    def test_alltoall_wrong_length(self):
+        def f(comm):
+            return comm.alltoall([1, 2, 3])  # size is 2
+
+        with pytest.raises(ParallelError):
+            run_parallel(2, f)
+
+    def test_barrier_many_rounds(self):
+        def f(comm):
+            acc = 0
+            for i in range(10):
+                acc = comm.allreduce(acc + 1, op=max)
+                comm.barrier()
+            return acc
+
+        # Repeated collectives on a reusable barrier must not wedge.
+        assert run_parallel(4, f) == [10] * 4
+
+    def test_collectives_interleaved_with_p2p(self):
+        def f(comm):
+            comm.send(comm.rank, dest=(comm.rank + 1) % comm.size, tag=0)
+            total = comm.allreduce(comm.rank)
+            left = comm.recv(source=(comm.rank - 1) % comm.size, tag=0)
+            return (total, left)
+
+        out = run_parallel(4, f)
+        assert [t for t, _ in out] == [6, 6, 6, 6]
+        assert [l for _, l in out] == [3, 0, 1, 2]

@@ -1,0 +1,116 @@
+"""Tests for tree reductions (DIY merge) and the correlation function."""
+
+import numpy as np
+import pytest
+
+from repro.diy.bounds import Bounds
+from repro.diy.comm import run_parallel
+from repro.diy.reduction import tree_allreduce, tree_reduce
+from repro.hacc.correlation import pair_correlation
+
+
+class TestTreeReduce:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 8, 13])
+    def test_sum_matches_gather(self, n):
+        def worker(comm):
+            return tree_reduce(comm, comm.rank + 1, lambda a, b: a + b)
+
+        out = run_parallel(n, worker)
+        assert out[0] == n * (n + 1) // 2
+        assert all(v is None for v in out[1:])
+
+    def test_nonzero_root(self):
+        def worker(comm):
+            return tree_reduce(comm, comm.rank, lambda a, b: a + b, root=2)
+
+        out = run_parallel(4, worker)
+        assert out[2] == 6
+        assert out[0] is None
+
+    def test_invalid_root(self):
+        def worker(comm):
+            return tree_reduce(comm, 0, lambda a, b: a + b, root=9)
+
+        with pytest.raises(Exception):
+            run_parallel(2, worker)
+
+    def test_noncommutative_op_rank_order(self):
+        """Concatenation must come out in rank order (associative only)."""
+        def worker(comm):
+            return tree_reduce(comm, [comm.rank], lambda a, b: a + b)
+
+        for n in (2, 3, 4, 6, 7):
+            out = run_parallel(n, worker)
+            assert out[0] == list(range(n))
+
+    def test_allreduce(self):
+        def worker(comm):
+            return tree_allreduce(comm, comm.rank + 1, max)
+
+        assert run_parallel(5, worker) == [5] * 5
+
+    def test_array_payloads(self):
+        def worker(comm):
+            return tree_allreduce(
+                comm, np.full(3, float(comm.rank)), lambda a, b: a + b
+            )
+
+        out = run_parallel(4, worker)
+        for arr in out:
+            np.testing.assert_allclose(arr, [6.0, 6.0, 6.0])
+
+
+class TestPairCorrelation:
+    def test_poisson_is_uncorrelated(self):
+        rng = np.random.default_rng(0)
+        box = 32.0
+        pos = rng.uniform(0, box, size=(8000, 3))
+        cf = pair_correlation(pos, Bounds.cube(box), r_max=8.0, nbins=8)
+        # xi consistent with zero (within a few times Poisson error).
+        big_bins = cf.pairs > 500
+        assert np.all(np.abs(cf.xi[big_bins]) < 0.1)
+
+    def test_clustered_sample_positive_xi_small_r(self):
+        rng = np.random.default_rng(1)
+        box = 32.0
+        centers = rng.uniform(0, box, size=(60, 3))
+        cloud = (
+            centers[:, None, :] + rng.normal(0, 0.5, size=(60, 25, 3))
+        ).reshape(-1, 3) % box
+        cf = pair_correlation(cloud, Bounds.cube(box), r_max=8.0, nbins=10)
+        assert cf.xi[0] > 5.0  # strong small-scale clustering
+        assert cf.xi[0] > cf.xi[-1]  # decreasing with separation
+
+    def test_pair_counts_periodic(self):
+        """Two particles straddling the seam count as one close pair."""
+        box = 10.0
+        pos = np.array([[0.1, 5.0, 5.0], [9.9, 5.0, 5.0]])
+        cf = pair_correlation(pos, Bounds.cube(box), r_max=1.0, nbins=4,
+                              r_min=0.05)
+        assert cf.pairs.sum() == 1
+
+    def test_invalid_arguments(self):
+        box = Bounds.cube(10.0)
+        pts = np.random.default_rng(2).uniform(0, 10, (50, 3))
+        with pytest.raises(ValueError):
+            pair_correlation(pts, box, r_max=6.0)  # > box/2
+        with pytest.raises(ValueError):
+            pair_correlation(pts, box, r_max=2.0, r_min=3.0)
+        with pytest.raises(ValueError):
+            pair_correlation(pts[:1], box, r_max=2.0)
+        with pytest.raises(ValueError):
+            pair_correlation(np.zeros((5, 2)), box, r_max=2.0)
+
+    def test_rows(self):
+        pts = np.random.default_rng(3).uniform(0, 10, (500, 3))
+        cf = pair_correlation(pts, Bounds.cube(10.0), r_max=3.0, nbins=5)
+        assert len(cf.rows()) == 5
+
+    def test_evolved_snapshot_clusters(self):
+        from repro.hacc import SimulationConfig, run_simulation
+
+        cfg = SimulationConfig(np_side=16, nsteps=30, seed=6)
+        final = run_simulation(cfg)
+        pos = final.positions * cfg.cell_size
+        cf = pair_correlation(pos, cfg.domain(), r_max=6.0, nbins=8)
+        assert cf.xi[0] > 1.0  # nonlinear clustering at small r

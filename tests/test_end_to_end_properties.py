@@ -1,0 +1,95 @@
+"""End-to-end property tests: invariances of the full parallel pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diy.bounds import Bounds, wrap_positions
+from repro.core import match_tessellations, tessellate
+
+
+def poisson(n, size, seed):
+    return np.random.default_rng(seed).uniform(0, size, size=(n, 3))
+
+
+class TestTessellationInvariances:
+    def test_rigid_translation_invariance(self):
+        """Translating all points (mod box) permutes nothing physical:
+        every cell keeps its volume and neighbor set."""
+        size = 10.0
+        domain = Bounds.cube(size)
+        pts = poisson(400, size, 0)
+        shift = np.array([3.7, -1.2, 8.9])
+        shifted = wrap_positions(pts + shift, domain)
+
+        a = tessellate(pts, domain, nblocks=4, ghost=4.0)
+        b = tessellate(shifted, domain, nblocks=4, ghost=4.0)
+        assert b.num_cells == a.num_cells == 400
+        va = dict(zip(a.site_ids().tolist(), a.volumes().tolist()))
+        vb = dict(zip(b.site_ids().tolist(), b.volumes().tolist()))
+        for sid in va:
+            assert vb[sid] == pytest.approx(va[sid], rel=1e-9)
+
+    def test_id_relabeling_equivariance(self):
+        """Permuting particle ids permutes cell identity and nothing else."""
+        size = 8.0
+        domain = Bounds.cube(size)
+        pts = poisson(250, size, 1)
+        rng = np.random.default_rng(2)
+        perm = rng.permutation(250).astype(np.int64)
+
+        a = tessellate(pts, domain, nblocks=2, ghost=3.5)
+        b = tessellate(pts, domain, nblocks=2, ghost=3.5, ids=perm)
+        va = dict(zip(a.site_ids().tolist(), a.volumes().tolist()))
+        vb = dict(zip(b.site_ids().tolist(), b.volumes().tolist()))
+        for original, renamed in enumerate(perm):
+            assert vb[int(renamed)] == pytest.approx(va[original], rel=1e-12)
+
+    def test_point_order_invariance(self):
+        size = 8.0
+        domain = Bounds.cube(size)
+        pts = poisson(250, size, 3)
+        rng = np.random.default_rng(4)
+        order = rng.permutation(250)
+        a = tessellate(pts, domain, nblocks=2, ghost=3.5)
+        b = tessellate(
+            pts[order], domain, nblocks=2, ghost=3.5,
+            ids=np.arange(250)[order],
+        )
+        m = match_tessellations(b, a)
+        assert m.accuracy_percent == 100.0
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=100),
+        st.sampled_from([1, 2, 4, 8]),
+    )
+    def test_partition_and_uniqueness_property(self, seed, nblocks):
+        size = 9.0
+        domain = Bounds.cube(size)
+        n = 150 + 10 * (seed % 7)
+        pts = poisson(n, size, seed)
+        tess = tessellate(pts, domain, nblocks=nblocks, ghost=4.0)
+        assert tess.num_cells == n
+        assert len(np.unique(tess.site_ids())) == n
+        assert tess.total_volume() == pytest.approx(domain.volume, rel=1e-8)
+
+    def test_scale_equivariance(self):
+        """Scaling the box and points scales volumes by the cube factor."""
+        pts = poisson(200, 5.0, 5)
+        a = tessellate(pts, Bounds.cube(5.0), nblocks=2, ghost=2.5)
+        k = 3.0
+        b = tessellate(pts * k, Bounds.cube(5.0 * k), nblocks=2, ghost=2.5 * k)
+        va = a.volumes()[np.argsort(a.site_ids())]
+        vb = b.volumes()[np.argsort(b.site_ids())]
+        np.testing.assert_allclose(vb, va * k**3, rtol=1e-9)
+
+    def test_axis_permutation_equivariance(self):
+        pts = poisson(220, 7.0, 6)
+        domain = Bounds.cube(7.0)
+        a = tessellate(pts, domain, nblocks=1, ghost=3.0)
+        b = tessellate(pts[:, [2, 0, 1]], domain, nblocks=1, ghost=3.0)
+        va = a.volumes()[np.argsort(a.site_ids())]
+        vb = b.volumes()[np.argsort(b.site_ids())]
+        np.testing.assert_allclose(vb, va, rtol=1e-9)

@@ -1,0 +1,120 @@
+"""Direct tests for the vectorized flat Voronoi engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diy.bounds import Bounds
+from repro.geometry.voronoi_cells import voronoi_cells_clip
+from repro.geometry.voronoi_flat import FlatVoronoi
+
+
+def poisson(n, size, seed):
+    return np.random.default_rng(seed).uniform(0, size, size=(n, 3))
+
+
+class TestFlatStructure:
+    def test_ridge_csr_consistency(self):
+        pts = poisson(200, 10.0, 0)
+        fv = FlatVoronoi(pts, Bounds.cube(10.0))
+        # Offsets monotone, flat array fully covered.
+        assert np.all(np.diff(fv.ridge_offsets) >= 3)
+        assert fv.ridge_offsets[-1] == len(fv.ridge_flat)
+        assert len(fv.ridge_sites) == fv.num_ridges
+        assert len(fv.ridge_areas) == fv.num_ridges
+
+    def test_cell_ridges_index_both_sides(self):
+        pts = poisson(150, 8.0, 1)
+        fv = FlatVoronoi(pts, Bounds.cube(8.0))
+        # Every ridge appears in exactly the two cells of its site pair.
+        seen = {}
+        for s in range(fv.num_sites):
+            for r in fv.cell_ridge_ids(s):
+                seen.setdefault(int(r), []).append(s)
+        for r, sites in seen.items():
+            assert sorted(sites) == sorted(fv.ridge_sites[r].tolist())
+
+    def test_ridge_cycles_are_planar_polygons(self):
+        pts = poisson(100, 8.0, 2)
+        fv = FlatVoronoi(pts, Bounds.cube(8.0))
+        for r in range(0, fv.num_ridges, 50):
+            cyc = fv.ridge_cycle(r)
+            assert len(cyc) >= 3
+            v = fv.vertices[cyc]
+            p, q = fv.ridge_sites[r]
+            axis = pts[q] - pts[p]
+            axis = axis / np.linalg.norm(axis)
+            # All cycle vertices lie on the bisector plane of (p, q).
+            mid = 0.5 * (pts[p] + pts[q])
+            d = (v - mid) @ axis
+            assert np.max(np.abs(d)) < 1e-8
+
+    def test_cell_neighbors(self):
+        pts = poisson(120, 8.0, 3)
+        fv = FlatVoronoi(pts, Bounds.cube(8.0))
+        for s in range(0, 120, 17):
+            nbs = fv.cell_neighbors(s)
+            assert s not in nbs
+            assert len(nbs) == len(fv.cell_ridge_ids(s))
+
+    def test_degenerate_few_points(self):
+        fv = FlatVoronoi(poisson(3, 4.0, 4), Bounds.cube(4.0))
+        assert fv.num_ridges == 0
+        assert not fv.complete.any()
+        assert np.all(fv.volumes == 0)
+
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            FlatVoronoi(np.zeros((5, 2)), Bounds.cube(1.0))
+
+
+class TestFlatMetrics:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_agrees_with_clip_backend(self, seed):
+        pts = poisson(250, 9.0, seed)
+        box = Bounds.cube(9.0)
+        fv = FlatVoronoi(pts, box)
+        for c in voronoi_cells_clip(pts, box):
+            if not c.complete:
+                assert not fv.complete[c.site]
+                continue
+            assert fv.complete[c.site]
+            assert fv.volumes[c.site] == pytest.approx(c.volume, rel=1e-9)
+            assert fv.areas[c.site] == pytest.approx(c.surface_area, rel=1e-9)
+            assert set(map(int, fv.cell_neighbors(c.site))) == set(
+                map(int, c.neighbors)
+            )
+
+    def test_max_vertex_separation(self):
+        pts = poisson(80, 6.0, 5)
+        fv = FlatVoronoi(pts, Bounds.cube(6.0))
+        s = int(np.flatnonzero(fv.complete)[0])
+        sep = fv.max_vertex_separation(s)
+        assert sep > 0
+        # Bounded above by the diameter implied by the isodiametric
+        # inequality... loosely: by the box diagonal.
+        assert sep < 6.0 * np.sqrt(3)
+
+    def test_bisector_volume_identity(self):
+        """V_cell = (1/6) sum A_r d_r over the cell's ridges."""
+        pts = poisson(150, 8.0, 6)
+        fv = FlatVoronoi(pts, Bounds.cube(8.0))
+        for s in np.flatnonzero(fv.complete)[:10]:
+            rids = fv.cell_ridge_ids(int(s))
+            d = np.linalg.norm(
+                pts[fv.ridge_sites[rids, 0]] - pts[fv.ridge_sites[rids, 1]],
+                axis=1,
+            )
+            v = float((fv.ridge_areas[rids] * d).sum() / 6.0)
+            assert v == pytest.approx(fv.volumes[s], rel=1e-12)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=500), st.integers(min_value=20, max_value=150))
+def test_flat_complete_cells_volumes_positive(seed, n):
+    pts = poisson(n, 8.0, seed)
+    fv = FlatVoronoi(pts, Bounds.cube(8.0))
+    assert np.all(fv.volumes[fv.complete] > 0)
+    # Complete cells' volumes cannot exceed the box volume.
+    assert fv.volumes[fv.complete].sum() <= 8.0**3 + 1e-6

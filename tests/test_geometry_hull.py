@@ -1,0 +1,149 @@
+"""Tests for convex hulls: native Quickhull vs scipy/Qhull."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.convex_hull import convex_hull, merge_coplanar_triangles
+
+
+class TestKnownShapes:
+    def test_tetrahedron(self):
+        pts = np.array(
+            [[0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1]], dtype=float
+        )
+        h = convex_hull(pts, backend="native")
+        assert len(h.simplices) == 4
+        assert set(h.vertices) == {0, 1, 2, 3}
+        assert h.volume() == pytest.approx(1.0 / 6.0)
+
+    def test_cube_with_interior_points(self):
+        corners = np.array(
+            [[x, y, z] for x in (0, 1) for y in (0, 1) for z in (0, 1)],
+            dtype=float,
+        )
+        rng = np.random.default_rng(0)
+        interior = rng.uniform(0.2, 0.8, size=(50, 3))
+        pts = np.vstack([corners, interior])
+        h = convex_hull(pts, backend="native")
+        assert set(h.vertices) == set(range(8))
+        assert h.volume() == pytest.approx(1.0)
+        assert h.area() == pytest.approx(6.0)
+
+    def test_octahedron(self):
+        pts = np.array(
+            [
+                [1, 0, 0], [-1, 0, 0],
+                [0, 1, 0], [0, -1, 0],
+                [0, 0, 1], [0, 0, -1],
+            ],
+            dtype=float,
+        )
+        h = convex_hull(pts, backend="native")
+        assert len(h.simplices) == 8
+        assert h.volume() == pytest.approx(4.0 / 3.0)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            convex_hull(np.zeros((3, 3)))
+
+    def test_coplanar_rejected(self):
+        pts = np.array(
+            [[0, 0, 0], [1, 0, 0], [0, 1, 0], [1, 1, 0], [0.5, 0.5, 0]],
+            dtype=float,
+        )
+        with pytest.raises(ValueError, match="coplanar"):
+            convex_hull(pts, backend="native")
+
+    def test_collinear_rejected(self):
+        pts = np.array([[i, 0, 0] for i in range(6)], dtype=float)
+        with pytest.raises(ValueError, match="collinear"):
+            convex_hull(pts, backend="native")
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            convex_hull(np.random.default_rng(0).normal(size=(10, 3)), backend="x")
+
+
+class TestOrientation:
+    @pytest.mark.parametrize("backend", ["native", "qhull"])
+    def test_all_normals_outward(self, backend):
+        rng = np.random.default_rng(5)
+        pts = rng.normal(size=(60, 3))
+        h = convex_hull(pts, backend=backend)
+        centroid = pts[h.vertices].mean(axis=0)
+        a, b, c = (pts[h.simplices[:, k]] for k in range(3))
+        n = np.cross(b - a, c - a)
+        outward = np.einsum("ij,ij->i", n, a - centroid)
+        assert np.all(outward > 0)
+
+    @pytest.mark.parametrize("backend", ["native", "qhull"])
+    def test_divergence_volume_positive(self, backend):
+        rng = np.random.default_rng(6)
+        pts = rng.uniform(size=(40, 3))
+        h = convex_hull(pts, backend=backend)
+        assert h.volume() > 0
+
+
+class TestBackendAgreement:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_same_hull_random_gaussian(self, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.normal(size=(200, 3))
+        native = convex_hull(pts, backend="native")
+        qhull = convex_hull(pts, backend="qhull")
+        assert set(native.vertices) == set(qhull.vertices)
+        assert native.volume() == pytest.approx(qhull.volume(), rel=1e-9)
+        assert native.area() == pytest.approx(qhull.area(), rel=1e-9)
+
+    def test_same_hull_sphere_surface(self):
+        rng = np.random.default_rng(9)
+        v = rng.normal(size=(300, 3))
+        pts = v / np.linalg.norm(v, axis=1, keepdims=True)
+        native = convex_hull(pts, backend="native")
+        qhull = convex_hull(pts, backend="qhull")
+        # All points are vertices of the hull of a sphere sample.
+        assert len(native.vertices) == 300
+        assert native.volume() == pytest.approx(qhull.volume(), rel=1e-9)
+
+    def test_contains_all_inputs(self):
+        rng = np.random.default_rng(11)
+        pts = rng.normal(size=(100, 3))
+        h = convex_hull(pts, backend="native")
+        for p in pts:
+            assert h.contains(p, rel_eps=1e-7)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=8, max_value=120))
+def test_hull_property_contains_and_volume(seed, n):
+    rng = np.random.default_rng(seed)
+    pts = rng.normal(size=(n, 3))
+    h = convex_hull(pts, backend="native")
+    ref = convex_hull(pts, backend="qhull")
+    assert h.volume() == pytest.approx(ref.volume(), rel=1e-8)
+    # Every input point is inside or on the hull.
+    for p in pts[:: max(1, n // 10)]:
+        assert h.contains(p, rel_eps=1e-7)
+
+
+class TestMergeCoplanar:
+    def test_cube_merges_to_6_faces(self):
+        corners = np.array(
+            [[x, y, z] for x in (0, 1) for y in (0, 1) for z in (0, 1)],
+            dtype=float,
+        )
+        h = convex_hull(corners, backend="native")
+        faces, normals = merge_coplanar_triangles(h)
+        assert len(faces) == 6
+        assert all(len(f) == 4 for f in faces)
+        dirs = {tuple(np.round(n).astype(int)) for n in normals}
+        assert len(dirs) == 6
+
+    def test_generic_hull_unchanged(self):
+        rng = np.random.default_rng(3)
+        pts = rng.normal(size=(30, 3))
+        h = convex_hull(pts, backend="native")
+        faces, _ = merge_coplanar_triangles(h)
+        assert len(faces) == len(h.simplices)  # no coplanar pairs in generic cloud

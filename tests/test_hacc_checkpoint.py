@@ -1,0 +1,124 @@
+"""Tests for HACC-style checkpoints and simulation restart."""
+
+import numpy as np
+import pytest
+
+from repro.diy.comm import run_parallel
+from repro.hacc import HACCSimulation, SimulationConfig
+from repro.hacc.checkpoint import (
+    BYTES_PER_PARTICLE,
+    read_checkpoint,
+    restart_simulation,
+    write_checkpoint,
+)
+
+
+class TestCheckpointFormat:
+    def test_roundtrip_and_size(self, tmp_path):
+        cfg = SimulationConfig(np_side=8, nsteps=6, seed=1)
+        path = str(tmp_path / "c.ckpt")
+
+        def worker(comm):
+            sim = HACCSimulation(cfg, comm=comm)
+            for _ in range(3):
+                sim.step()
+            return write_checkpoint(path, comm, sim), sim.a
+
+        sizes = run_parallel(2, worker)
+        particles, scalar, a, step, np_side = read_checkpoint(path)
+        assert len(particles) == 512
+        assert sorted(particles.ids) == list(range(512))
+        assert step == 3 and np_side == 8
+        assert a == pytest.approx(sizes[0][1])
+        # 40 bytes/particle plus per-block headers and the file index.
+        payload = 512 * BYTES_PER_PARTICLE
+        assert payload <= sizes[0][0] < payload + 512
+
+    def test_positions_float32_rounding(self, tmp_path):
+        cfg = SimulationConfig(np_side=8, nsteps=2, seed=2)
+        path = str(tmp_path / "c.ckpt")
+
+        def worker(comm):
+            sim = HACCSimulation(cfg, comm=comm)
+            sim.step()
+            write_checkpoint(path, comm, sim)
+            return sim.local
+
+        local = run_parallel(1, worker)[0]
+        particles, _, _, _, _ = read_checkpoint(path)
+        got = particles.positions[np.argsort(particles.ids)]
+        want = local.positions[np.argsort(local.ids)]
+        np.testing.assert_allclose(got, want, atol=1e-5)  # f32 storage
+
+    def test_scalar_annotation(self, tmp_path):
+        cfg = SimulationConfig(np_side=8, nsteps=1, seed=3)
+        path = str(tmp_path / "c.ckpt")
+
+        def worker(comm):
+            sim = HACCSimulation(cfg, comm=comm)
+            density = np.arange(len(sim.local), dtype=float)
+            write_checkpoint(path, comm, sim, scalar=density)
+            return len(sim.local)
+
+        run_parallel(1, worker)
+        _, scalar, _, _, _ = read_checkpoint(path)
+        np.testing.assert_allclose(scalar, np.arange(512), atol=1e-3)
+
+
+class TestRestart:
+    def test_restart_matches_uninterrupted(self, tmp_path):
+        cfg = SimulationConfig(np_side=8, nsteps=8, seed=4)
+        path = str(tmp_path / "mid.ckpt")
+
+        def straight(comm):
+            sim = HACCSimulation(cfg, comm=comm)
+            sim.run()
+            return sim.local
+
+        def interrupted(comm):
+            sim = HACCSimulation(cfg, comm=comm)
+            for _ in range(4):
+                sim.step()
+            write_checkpoint(path, comm, sim)
+            resumed = restart_simulation(path, cfg, comm=comm)
+            assert resumed.step_index == 4
+            while resumed.step_index < cfg.nsteps:
+                resumed.step()
+            return resumed.local
+
+        a = run_parallel(1, straight)[0]
+        b = run_parallel(1, interrupted)[0]
+        pa = a.positions[np.argsort(a.ids)]
+        pb = b.positions[np.argsort(b.ids)]
+        # Equal up to float32 storage rounding amplified by 4 steps.
+        np.testing.assert_allclose(pb, pa, atol=1e-3)
+
+    def test_restart_with_different_rank_count(self, tmp_path):
+        cfg = SimulationConfig(np_side=8, nsteps=4, seed=5)
+        path = str(tmp_path / "r.ckpt")
+
+        def writer(comm):
+            sim = HACCSimulation(cfg, comm=comm)
+            sim.step()
+            write_checkpoint(path, comm, sim)
+
+        run_parallel(2, writer)
+
+        def reader(comm):
+            sim = restart_simulation(path, cfg, comm=comm)
+            return len(sim.local)
+
+        counts = run_parallel(4, reader)
+        assert sum(counts) == 512
+
+    def test_mismatched_config_rejected(self, tmp_path):
+        cfg = SimulationConfig(np_side=8, nsteps=2, seed=6)
+        path = str(tmp_path / "m.ckpt")
+
+        def writer(comm):
+            sim = HACCSimulation(cfg, comm=comm)
+            write_checkpoint(path, comm, sim)
+
+        run_parallel(1, writer)
+        with pytest.raises(ValueError, match="8"):
+            restart_simulation(path, SimulationConfig(np_side=12, nsteps=2))

@@ -1,0 +1,138 @@
+"""Tests for the ΛCDM background and linear power spectrum."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hacc.cosmology import LCDM, PLANCK_LIKE
+from repro.hacc.power_spectrum import (
+    LinearPowerSpectrum,
+    transfer_bbks,
+    transfer_eisenstein_hu,
+)
+
+
+class TestBackground:
+    def test_e_of_a_today(self):
+        assert PLANCK_LIKE.e_of_a(1.0) == pytest.approx(1.0)
+
+    def test_e_of_a_matter_domination(self):
+        c = LCDM()
+        a = 1e-3
+        assert c.e_of_a(a) == pytest.approx(np.sqrt(c.omega_m) * a**-1.5, rel=1e-3)
+
+    def test_hubble_today(self):
+        assert PLANCK_LIKE.hubble(1.0) == pytest.approx(100 * PLANCK_LIKE.h)
+
+    def test_flatness(self):
+        c = LCDM(omega_m=0.3)
+        assert c.omega_l == pytest.approx(0.7)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LCDM(omega_m=0.0)
+        with pytest.raises(ValueError):
+            LCDM(omega_b=0.5, omega_m=0.3)
+        with pytest.raises(ValueError):
+            LCDM(h=-1.0)
+
+    def test_a_z_roundtrip(self):
+        assert LCDM.a_of_z(LCDM.z_of_a(0.25)) == pytest.approx(0.25)
+        assert LCDM.a_of_z(0.0) == 1.0
+
+
+class TestGrowth:
+    def test_normalized_today(self):
+        assert PLANCK_LIKE.growth_factor(1.0) == pytest.approx(1.0, rel=1e-6)
+
+    def test_matter_dominated_growth_linear_in_a(self):
+        c = LCDM()
+        # Deep in matter domination D(a) ∝ a.
+        r = c.growth_factor(0.02) / c.growth_factor(0.01)
+        assert r == pytest.approx(2.0, rel=1e-2)
+
+    def test_lambda_suppression(self):
+        # With dark energy, growth by a=1 lags the EdS D=a line.
+        c = LCDM(omega_m=0.3)
+        assert c.growth_factor(0.5) > 0.5
+
+    def test_monotonic(self):
+        a = np.linspace(0.01, 1.0, 200)
+        d = PLANCK_LIKE.growth_factor(a)
+        assert np.all(np.diff(d) > 0)
+
+    def test_growth_rate_limits(self):
+        c = LCDM(omega_m=0.3)
+        assert c.growth_rate(0.01) == pytest.approx(1.0, rel=1e-2)  # EdS: f = 1
+        # Today, f ≈ omega_m(a)^0.55 ≈ 0.51 for omega_m = 0.3.
+        assert c.growth_rate(1.0) == pytest.approx(0.3**0.55, rel=0.05)
+
+    def test_positive_a_required(self):
+        with pytest.raises(ValueError):
+            PLANCK_LIKE.growth_factor(0.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=0.01, max_value=1.0))
+    def test_growth_between_zero_and_one(self, a):
+        d = PLANCK_LIKE.growth_factor(a)
+        assert 0.0 < d <= 1.0 + 1e-9
+
+
+class TestTransferFunctions:
+    @pytest.mark.parametrize("tf", [transfer_bbks, transfer_eisenstein_hu])
+    def test_large_scale_limit(self, tf):
+        k = np.array([1e-5])
+        assert tf(k, PLANCK_LIKE)[0] == pytest.approx(1.0, abs=2e-2)
+
+    @pytest.mark.parametrize("tf", [transfer_bbks, transfer_eisenstein_hu])
+    def test_monotone_decreasing(self, tf):
+        k = np.logspace(-4, 2, 300)
+        t = tf(k, PLANCK_LIKE)
+        assert np.all(np.diff(t) <= 1e-12)
+        assert np.all(t > 0)
+
+    def test_small_scale_suppression(self):
+        t = transfer_eisenstein_hu(np.array([10.0]), PLANCK_LIKE)[0]
+        assert t < 1e-2
+
+    def test_backends_agree_roughly(self):
+        k = np.logspace(-3, 1, 50)
+        a = transfer_bbks(k, PLANCK_LIKE)
+        b = transfer_eisenstein_hu(k, PLANCK_LIKE)
+        # Same shape within tens of percent across the relevant range.
+        assert np.all(np.abs(np.log(a / b)) < 0.5)
+
+
+class TestPowerSpectrum:
+    def test_sigma8_normalization(self):
+        p = LinearPowerSpectrum(PLANCK_LIKE)
+        assert p.sigma_r(8.0) == pytest.approx(PLANCK_LIKE.sigma8, rel=1e-4)
+
+    def test_growth_scaling(self):
+        p = LinearPowerSpectrum(PLANCK_LIKE)
+        k = 0.1
+        d = PLANCK_LIKE.growth_factor(0.5)
+        assert p(k, a=0.5) == pytest.approx(p(k, a=1.0) * d * d, rel=1e-10)
+
+    def test_zero_k_is_zero(self):
+        p = LinearPowerSpectrum(PLANCK_LIKE)
+        assert p(0.0) == 0.0
+
+    def test_large_scale_slope_is_ns(self):
+        p = LinearPowerSpectrum(PLANCK_LIKE)
+        k1, k2 = 1e-4, 2e-4
+        slope = np.log(p(k2) / p(k1)) / np.log(k2 / k1)
+        assert slope == pytest.approx(PLANCK_LIKE.ns, rel=1e-2)
+
+    def test_sigma_decreases_with_radius(self):
+        p = LinearPowerSpectrum(PLANCK_LIKE)
+        assert p.sigma_r(4.0) > p.sigma_r(8.0) > p.sigma_r(16.0)
+
+    def test_unknown_transfer(self):
+        with pytest.raises(ValueError):
+            LinearPowerSpectrum(PLANCK_LIKE, transfer="nope")
+
+    def test_bbks_backend_normalizes_too(self):
+        p = LinearPowerSpectrum(PLANCK_LIKE, transfer="bbks")
+        assert p.sigma_r(8.0) == pytest.approx(PLANCK_LIKE.sigma8, rel=1e-4)

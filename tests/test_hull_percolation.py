@@ -1,0 +1,126 @@
+"""Tests for the distributed convex hull and percolation statistics."""
+
+import numpy as np
+import pytest
+
+from repro.diy.bounds import Bounds
+from repro.diy.comm import run_parallel
+from repro.core import tessellate
+from repro.core.hull_mode import convex_hull_distributed, convex_hull_parallel
+from repro.geometry.convex_hull import convex_hull
+from repro.analysis.percolation import (
+    percolation_curve,
+    percolation_threshold,
+)
+
+
+class TestDistributedHull:
+    @pytest.mark.parametrize("nranks", [1, 2, 4])
+    def test_matches_serial_hull(self, nranks):
+        rng = np.random.default_rng(0)
+        pts = rng.normal(size=(500, 3))
+        serial = convex_hull(pts, backend="native")
+        par = convex_hull_parallel(pts, nranks=nranks)
+        assert par.volume() == pytest.approx(serial.volume(), rel=1e-12)
+        assert par.area() == pytest.approx(serial.area(), rel=1e-12)
+        # Same vertex *coordinates* (indices differ across point arrays).
+        a = np.unique(np.round(serial.points[serial.vertices], 9), axis=0)
+        b = np.unique(np.round(par.points[par.vertices], 9), axis=0)
+        np.testing.assert_array_equal(a, b)
+
+    def test_all_ranks_receive_hull(self):
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(size=(200, 3))
+
+        def worker(comm):
+            mine = pts[comm.rank :: comm.size]
+            h = convex_hull_distributed(comm, mine)
+            return h.volume()
+
+        vols = run_parallel(3, worker)
+        assert len(set(np.round(vols, 12))) == 1
+
+    def test_rank_with_few_points(self):
+        """A rank holding < 4 points still contributes candidates."""
+        corners = np.array(
+            [[x, y, z] for x in (0, 1) for y in (0, 1) for z in (0, 1)],
+            dtype=float,
+        )
+
+        def worker(comm):
+            if comm.rank == 0:
+                mine = corners[:2]  # too few for a local hull
+            else:
+                mine = corners[2:]
+            return convex_hull_distributed(comm, mine).volume()
+
+        vols = run_parallel(2, worker)
+        assert vols[0] == pytest.approx(1.0)
+
+    def test_degenerate_local_cloud(self):
+        """A rank whose points are collinear falls back to all-candidates."""
+        line = np.column_stack(
+            [np.linspace(0, 1, 10), np.zeros(10), np.zeros(10)]
+        )
+        cloud = np.random.default_rng(2).uniform(size=(50, 3))
+
+        def worker(comm):
+            mine = line if comm.rank == 0 else cloud
+            return convex_hull_distributed(comm, mine).volume()
+
+        vols = run_parallel(2, worker)
+        ref = convex_hull(np.vstack([line, cloud]), backend="native")
+        assert vols[0] == pytest.approx(ref.volume(), rel=1e-12)
+
+    def test_too_few_total_points(self):
+        def worker(comm):
+            return convex_hull_distributed(comm, np.zeros((1, 3)) + comm.rank)
+
+        with pytest.raises(Exception):
+            run_parallel(2, worker)
+
+
+class TestPercolation:
+    def _tess(self, seed=0, n=600):
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(0, 10, size=(n, 3))
+        return tessellate(pts, Bounds.cube(10.0), nblocks=2, ghost=4.0)
+
+    def test_curve_monotonicity(self):
+        tess = self._tess(1)
+        v = tess.volumes()
+        curve = percolation_curve(tess, np.linspace(v.min(), v.max(), 10))
+        kept = [p.kept_cells for p in curve]
+        assert kept == sorted(kept, reverse=True)
+        assert curve[0].kept_cells == tess.num_cells
+        assert curve[0].num_components == 1
+        assert curve[0].percolates
+
+    def test_high_threshold_fragments(self):
+        tess = self._tess(2)
+        v = tess.volumes()
+        point = percolation_curve(tess, [float(np.quantile(v, 0.98))])[0]
+        assert not point.percolates or point.kept_cells < 20
+
+    def test_threshold_bracketing(self):
+        tess = self._tess(3)
+        t = percolation_threshold(tess)
+        v = tess.volumes()
+        assert v.min() <= t <= v.max()
+        below = percolation_curve(tess, [t * 0.8 + v.min() * 0.2])[0]
+        assert below.percolates
+
+    def test_empty_tessellation_rejected(self):
+        from repro.core.tessellate import Tessellation
+
+        with pytest.raises(ValueError):
+            percolation_threshold(
+                Tessellation(domain=Bounds.cube(1.0), blocks=[])
+            )
+
+    def test_zero_kept_cells_handled(self):
+        tess = self._tess(4)
+        point = percolation_curve(tess, [1e9])[0]
+        assert point.kept_cells == 0
+        assert point.largest_fraction == 0.0
+        assert not point.percolates

@@ -1,0 +1,98 @@
+"""Tests for the §V in situ tools: void finder, cell statistics, chaining."""
+
+import numpy as np
+import pytest
+
+from repro.hacc import SimulationConfig
+from repro.insitu import run_simulation_with_tools
+from repro.analysis import find_voids
+
+
+class TestVoidFinderTool:
+    def test_standalone_computes_own_tessellation(self):
+        cfg = SimulationConfig(np_side=10, nsteps=10, seed=1)
+        results = run_simulation_with_tools(
+            cfg,
+            {"tools": [{"tool": "void_finder",
+                        "params": {"ghost": 4.0, "min_cells": 2}}]},
+            nranks=2,
+        )
+        catalog = results["void_finder"][10]
+        assert catalog.num_voids >= 1
+        assert all(v.num_cells >= 2 for v in catalog.voids)
+
+    def test_consumes_tessellation_context(self):
+        """Chained after the tessellation tool, results match postprocessing
+        of that tool's own output."""
+        cfg = SimulationConfig(np_side=10, nsteps=8, seed=2)
+        results = run_simulation_with_tools(
+            cfg,
+            {"tools": [
+                {"tool": "tessellation", "params": {"ghost": 4.0}},
+                {"tool": "void_finder", "params": {"vmin_fraction": 0.1}},
+            ]},
+            nranks=2,
+        )
+        tess = results["tessellation"][8]
+        insitu_catalog = results["void_finder"][8]
+        post_catalog = find_voids(tess)
+        assert insitu_catalog.num_voids == post_catalog.num_voids
+        assert insitu_catalog.vmin == pytest.approx(post_catalog.vmin)
+        got = sorted(tuple(v.site_ids) for v in insitu_catalog.voids)
+        want = sorted(tuple(v.site_ids) for v in post_catalog.voids)
+        assert got == want
+
+    def test_absolute_vmin_wins(self):
+        cfg = SimulationConfig(np_side=10, nsteps=6, seed=3)
+        results = run_simulation_with_tools(
+            cfg,
+            {"tools": [
+                {"tool": "tessellation", "params": {"ghost": 4.0}},
+                {"tool": "void_finder", "params": {"vmin": 0.9}},
+            ]},
+        )
+        assert results["void_finder"][6].vmin == pytest.approx(0.9)
+
+    def test_minkowski_attachment(self):
+        cfg = SimulationConfig(np_side=10, nsteps=6, seed=4)
+        results = run_simulation_with_tools(
+            cfg,
+            {"tools": [
+                {"tool": "tessellation", "params": {"ghost": 4.0}},
+                {"tool": "void_finder",
+                 "params": {"compute_minkowski": True, "min_cells": 2}},
+            ]},
+        )
+        catalog = results["void_finder"][6]
+        for v in catalog.voids:
+            assert v.minkowski is not None
+            assert v.minkowski.volume == pytest.approx(v.volume, rel=1e-9)
+
+
+class TestCellStatisticsTool:
+    def test_histograms_from_context(self):
+        cfg = SimulationConfig(np_side=10, nsteps=8, seed=5)
+        results = run_simulation_with_tools(
+            cfg,
+            {"tools": [
+                {"tool": "tessellation", "params": {"ghost": 4.0}},
+                {"tool": "cell_statistics", "params": {"bins": 40}},
+            ]},
+            nranks=2,
+        )
+        stats = results["cell_statistics"][8]
+        assert set(stats) == {"volume", "density_contrast"}
+        tess = results["tessellation"][8]
+        assert stats["volume"].n_samples == tess.num_cells
+        assert len(stats["volume"].counts) == 40
+        # delta histogram is centered: mean of delta is 0 by construction.
+        assert stats["density_contrast"].mean == pytest.approx(0.0, abs=1e-9)
+
+    def test_standalone_without_tessellation(self):
+        cfg = SimulationConfig(np_side=8, nsteps=4, seed=6)
+        results = run_simulation_with_tools(
+            cfg,
+            {"tools": [{"tool": "cell_statistics", "params": {"ghost": 3.5}}]},
+        )
+        stats = results["cell_statistics"][4]
+        assert stats["volume"].n_samples == 512
