@@ -39,6 +39,7 @@ def exchange_ghost_particles(
     ids: np.ndarray,
     ghost: float,
     assignment: Assignment | None = None,
+    dense: bool = False,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Exchange boundary particles and return this block's ghosts.
 
@@ -61,6 +62,11 @@ def exchange_ghost_particles(
     ghost:
         Ghost-zone thickness, in the same distance units as the domain.
         The paper recommends at least twice the typical cell size.
+    dense:
+        Force the dense alltoall delivery path instead of the default
+        sparse exchange (which only messages ranks with queued particles);
+        results are identical — the knob exists for validation and the
+        communication benchmarks.
 
     Returns
     -------
@@ -83,7 +89,7 @@ def exchange_ghost_particles(
             if mask.any():
                 exchanger.enqueue(gid, link, (pos[mask].copy(), pid[mask].copy()))
 
-    inbox = exchanger.exchange()
+    inbox = exchanger.exchange(dense=dense)
 
     received = inbox.get(gid, [])
     if not received:

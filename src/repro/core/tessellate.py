@@ -218,6 +218,7 @@ def tessellate_distributed(
     gid = comm.rank if gid is None else gid
     block_def = decomposition.block(gid)
     timer = PhaseTimer()
+    stats0 = comm.stats.snapshot()
 
     with timer.phase("exchange"):
         ghost_pos, ghost_ids = exchange_ghost_particles(
@@ -262,7 +263,19 @@ def tessellate_distributed(
                 block,
                 decomposition,
             )
-    return block, timer.timings, output_bytes
+    return block, _timings_with_comm(timer, comm, stats0), output_bytes
+
+
+def _timings_with_comm(timer: PhaseTimer, comm: Communicator, stats0) -> TessTimings:
+    """Three-phase timings plus this rank's communication counters."""
+    timings = timer.timings
+    delta = comm.stats.since(stats0)
+    timings.comm_wait = delta.blocked_s
+    timings.msgs_sent = delta.msgs_sent
+    timings.msgs_recv = delta.msgs_recv
+    timings.bytes_sent = delta.bytes_sent
+    timings.bytes_recv = delta.bytes_recv
+    return timings
 
 
 @dataclass
@@ -422,6 +435,7 @@ def _multi_block_worker(
 
     def worker(comm: Communicator):
         timer = PhaseTimer()
+        stats0 = comm.stats.snapshot()
         gids = assignment.gids_of(comm.rank)
         particles_by_gid = {
             gid: (pts[owners == gid], pid[owners == gid]) for gid in gids
@@ -461,6 +475,6 @@ def _multi_block_worker(
                 nbytes = write_blocks(
                     output_path, comm, blobs, nblocks_total=decomp.nblocks
                 )
-        return local_blocks, timer.timings, nbytes
+        return local_blocks, _timings_with_comm(timer, comm, stats0), nbytes
 
     return worker

@@ -14,22 +14,33 @@ Two clocks are recorded per phase:
 * **cpu** (``time.thread_time``) — CPU time consumed by this rank's thread
   only.  This is the faithful stand-in for per-rank time on a real MPI
   machine and is what the scaling benchmarks (Figure 10, Table II) report.
+
+:class:`PhaseTimer` accepts arbitrary phase names (callers time whatever
+stages they define); :attr:`PhaseTimer.timings` projects the canonical
+``exchange``/``compute``/``output`` triple into a :class:`TessTimings` for
+the paper's tables, and :meth:`PhaseTimer.as_dict` exposes every phase.
+
+:class:`TessTimings` additionally carries communication-observability
+counters (time blocked in recv/barrier, messages and bytes moved) filled in
+by :func:`repro.core.tessellate.tessellate_distributed` from the
+communicator's :class:`~repro.diy.comm.CommStats`.
 """
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 __all__ = ["TessTimings", "PhaseTimer"]
 
-_PHASES = ("exchange", "compute", "output")
+_CORE_PHASES = ("exchange", "compute", "output")
 
 
 @dataclass
 class TessTimings:
-    """Seconds spent in each tessellation phase (wall and per-thread CPU)."""
+    """Seconds spent in each tessellation phase (wall and per-thread CPU),
+    plus per-rank communication counters."""
 
     exchange: float = 0.0
     compute: float = 0.0
@@ -37,6 +48,12 @@ class TessTimings:
     exchange_cpu: float = 0.0
     compute_cpu: float = 0.0
     output_cpu: float = 0.0
+    #: wall-clock seconds blocked in recv/barrier (from CommStats)
+    comm_wait: float = 0.0
+    msgs_sent: int = 0
+    msgs_recv: int = 0
+    bytes_sent: int = 0
+    bytes_recv: int = 0
 
     @property
     def total(self) -> float:
@@ -49,18 +66,12 @@ class TessTimings:
         return self.exchange_cpu + self.compute_cpu + self.output_cpu
 
     def max_with(self, other: "TessTimings") -> "TessTimings":
-        """Per-phase maximum (reduction op for the cross-rank critical path)."""
+        """Per-field maximum (reduction op for the cross-rank critical path;
+        for the message/byte counters this reports the busiest rank)."""
         return TessTimings(
             **{
-                f: max(getattr(self, f), getattr(other, f))
-                for f in (
-                    "exchange",
-                    "compute",
-                    "output",
-                    "exchange_cpu",
-                    "compute_cpu",
-                    "output_cpu",
-                )
+                f.name: max(getattr(self, f.name), getattr(other, f.name))
+                for f in fields(self)
             }
         )
 
@@ -74,29 +85,71 @@ class TessTimings:
             "wall_total_s": self.total,
         }
 
+    def as_row_extended(self) -> dict[str, float]:
+        """:meth:`as_row` plus the communication-observability columns."""
+        row = self.as_row()
+        row.update(
+            comm_wait_s=self.comm_wait,
+            msgs_sent=self.msgs_sent,
+            msgs_recv=self.msgs_recv,
+            bytes_sent=self.bytes_sent,
+            bytes_recv=self.bytes_recv,
+        )
+        return row
+
 
 class PhaseTimer:
-    """Accumulates wall and thread-CPU time into named phases."""
+    """Accumulates wall and thread-CPU time into dynamically named phases."""
 
     def __init__(self) -> None:
-        self.timings = TessTimings()
+        self._wall: dict[str, float] = {}
+        self._cpu: dict[str, float] = {}
 
     @contextmanager
     def phase(self, name: str):
-        """Context manager adding elapsed time to phase ``name``."""
-        if name not in _PHASES:
-            raise ValueError(f"unknown phase {name!r}; choose from {_PHASES}")
+        """Context manager adding elapsed time to phase ``name``.
+
+        Any nonempty string names a phase; the canonical
+        ``exchange``/``compute``/``output`` triple feeds
+        :attr:`timings`, everything else is reachable via :meth:`wall`,
+        :meth:`cpu`, and :meth:`as_dict`."""
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"phase name must be a nonempty string, got {name!r}")
         w0 = time.perf_counter()
         c0 = time.thread_time()
         try:
             yield
         finally:
-            setattr(
-                self.timings, name, getattr(self.timings, name) + time.perf_counter() - w0
+            self._wall[name] = (
+                self._wall.get(name, 0.0) + time.perf_counter() - w0
             )
-            cpu_field = f"{name}_cpu"
-            setattr(
-                self.timings,
-                cpu_field,
-                getattr(self.timings, cpu_field) + time.thread_time() - c0,
-            )
+            self._cpu[name] = self._cpu.get(name, 0.0) + time.thread_time() - c0
+
+    def wall(self, name: str) -> float:
+        """Accumulated wall-clock seconds for phase ``name`` (0 if unseen)."""
+        return self._wall.get(name, 0.0)
+
+    def cpu(self, name: str) -> float:
+        """Accumulated thread-CPU seconds for phase ``name`` (0 if unseen)."""
+        return self._cpu.get(name, 0.0)
+
+    @property
+    def phase_names(self) -> tuple[str, ...]:
+        """Phases recorded so far, in first-use order."""
+        return tuple(self._wall)
+
+    @property
+    def timings(self) -> TessTimings:
+        """The canonical three-phase view (the paper's Table II breakdown)."""
+        t = TessTimings()
+        for name in _CORE_PHASES:
+            setattr(t, name, self._wall.get(name, 0.0))
+            setattr(t, f"{name}_cpu", self._cpu.get(name, 0.0))
+        return t
+
+    def as_dict(self) -> dict[str, dict[str, float]]:
+        """Every recorded phase: ``{name: {"wall": s, "cpu": s}}``."""
+        return {
+            name: {"wall": self._wall[name], "cpu": self._cpu.get(name, 0.0)}
+            for name in self._wall
+        }

@@ -9,7 +9,15 @@ targeting, and a single-file blocked parallel writer/reader.
 """
 
 from .bounds import Bounds, minimum_image, periodic_translation, wrap_positions
-from .comm import ANY_SOURCE, ANY_TAG, Communicator, ParallelError, run_parallel
+from .comm import (
+    ANY_SOURCE,
+    ANY_TAG,
+    CommStats,
+    Communicator,
+    ParallelError,
+    Request,
+    run_parallel,
+)
 from .decomposition import Block, Decomposition, NeighborLink, factor_into_grid
 from .exchange import Assignment, NeighborExchanger
 from .mpi_io import BlockFileReader, pack_arrays, unpack_arrays, write_blocks
@@ -22,7 +30,9 @@ __all__ = [
     "wrap_positions",
     "ANY_SOURCE",
     "ANY_TAG",
+    "CommStats",
     "Communicator",
+    "Request",
     "ParallelError",
     "run_parallel",
     "Block",

@@ -14,9 +14,24 @@ Design notes
 * Message matching is by ``(source, tag)`` with per-rank mailboxes guarded by
   a condition variable; messages between a given (source, dest, tag) triple
   are delivered in send order (MPI's non-overtaking guarantee).
-* Collectives are built from point-to-point operations plus a reusable
-  barrier; they must be called by all ranks in the same order, exactly as in
+* **Tag-space isolation**: internal collective traffic travels on a separate
+  mailbox channel, so a user ``recv(ANY_SOURCE, ANY_TAG)`` can *never* match
+  a message belonging to a concurrent ``bcast``/``gather``/``allreduce``.
+  (Tags >= ``Communicator._COLL_TAG`` label internal messages for debugging,
+  but isolation is structural, not tag-value based.)
+* Collectives are tree-based — binomial trees for rooted operations
+  (``bcast``/``gather``/``scatter``/``reduce``), recursive doubling for
+  ``allreduce``/``exscan``, dissemination for ``allgather`` — so every rank
+  sends/receives O(log P) messages instead of the O(P) a root-funneled
+  implementation costs.  The previous linear algorithms are kept as
+  ``linear_*`` reference oracles for tests and benchmarks.  Reduction ops
+  must be associative; commutativity is *not* required (operands always
+  combine in rank order, as MPI specifies).
+* Collectives must be called by all ranks in the same order, exactly as in
   MPI.
+* Every communicator carries a :class:`CommStats` — per-rank counters for
+  messages/bytes sent and received, per-collective call counts, and time
+  blocked in ``recv``/``barrier`` — for communication observability.
 * NumPy arrays are passed by reference, not serialized: ranks share an
   address space.  Senders must not mutate a buffer after sending it; all
   call sites in this package send freshly built arrays or copies.
@@ -26,14 +41,20 @@ Design notes
 
 from __future__ import annotations
 
+import operator
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Sequence
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
 
 __all__ = [
     "Communicator",
+    "CommStats",
     "ParallelError",
+    "Request",
     "run_parallel",
     "ANY_SOURCE",
     "ANY_TAG",
@@ -43,6 +64,132 @@ ANY_SOURCE = -1
 ANY_TAG = -1
 
 _DEFAULT_TIMEOUT = 300.0  # seconds; a deadlocked test should fail, not hang
+
+
+def _payload_nbytes(obj: Any, _depth: int = 0) -> int:
+    """Best-effort payload size estimate for the byte counters.
+
+    Arrays report their buffer size; containers recurse a few levels; objects
+    with a ``__dict__`` (e.g. ParticleSet, VoronoiBlock) are costed by their
+    attributes.  This is an accounting estimate, not a serialization."""
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj)
+    if obj is None or isinstance(obj, (bool, int, float, complex, np.generic)):
+        return 8
+    if _depth >= 4:
+        return 0
+    if isinstance(obj, (list, tuple, set, frozenset, deque)):
+        return sum(_payload_nbytes(v, _depth + 1) for v in obj)
+    if isinstance(obj, dict):
+        return sum(
+            _payload_nbytes(k, _depth + 1) + _payload_nbytes(v, _depth + 1)
+            for k, v in obj.items()
+        )
+    attrs = getattr(obj, "__dict__", None)
+    if attrs:
+        return sum(_payload_nbytes(v, _depth + 1) for v in attrs.values())
+    return 0
+
+
+@dataclass
+class CommStats:
+    """Per-rank communication counters (the observability layer).
+
+    Counters accumulate over the communicator's lifetime; use
+    :meth:`snapshot` + :meth:`since` to meter a region::
+
+        before = comm.stats.snapshot()
+        ...  # communicate
+        delta = comm.stats.since(before)
+
+    ``recv_wait_s``/``barrier_wait_s`` measure wall-clock time blocked inside
+    matched receives (user and internal collective traffic alike) and
+    barriers — the per-rank communication critical path.
+    """
+
+    msgs_sent: int = 0
+    msgs_recv: int = 0
+    bytes_sent: int = 0
+    bytes_recv: int = 0
+    recv_wait_s: float = 0.0
+    barrier_wait_s: float = 0.0
+    #: collective name -> number of invocations (e.g. {"bcast": 3})
+    collective_calls: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def blocked_s(self) -> float:
+        """Total wall-clock time blocked in receives and barriers."""
+        return self.recv_wait_s + self.barrier_wait_s
+
+    def snapshot(self) -> "CommStats":
+        """An independent copy of the current counters."""
+        return CommStats(
+            msgs_sent=self.msgs_sent,
+            msgs_recv=self.msgs_recv,
+            bytes_sent=self.bytes_sent,
+            bytes_recv=self.bytes_recv,
+            recv_wait_s=self.recv_wait_s,
+            barrier_wait_s=self.barrier_wait_s,
+            collective_calls=dict(self.collective_calls),
+        )
+
+    def since(self, baseline: "CommStats") -> "CommStats":
+        """Counter deltas relative to an earlier :meth:`snapshot`."""
+        calls = {
+            name: count - baseline.collective_calls.get(name, 0)
+            for name, count in self.collective_calls.items()
+            if count != baseline.collective_calls.get(name, 0)
+        }
+        return CommStats(
+            msgs_sent=self.msgs_sent - baseline.msgs_sent,
+            msgs_recv=self.msgs_recv - baseline.msgs_recv,
+            bytes_sent=self.bytes_sent - baseline.bytes_sent,
+            bytes_recv=self.bytes_recv - baseline.bytes_recv,
+            recv_wait_s=self.recv_wait_s - baseline.recv_wait_s,
+            barrier_wait_s=self.barrier_wait_s - baseline.barrier_wait_s,
+            collective_calls=calls,
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flat dict form for reports and benchmark tables."""
+        return {
+            "msgs_sent": self.msgs_sent,
+            "msgs_recv": self.msgs_recv,
+            "bytes_sent": self.bytes_sent,
+            "bytes_recv": self.bytes_recv,
+            "recv_wait_s": self.recv_wait_s,
+            "barrier_wait_s": self.barrier_wait_s,
+            "collective_calls": dict(self.collective_calls),
+        }
+
+
+class Request:
+    """Handle returned by :meth:`Communicator.isend`.
+
+    Sends in this runtime are buffered and complete immediately, so the
+    request is born finished; ``wait``/``test`` exist so mpi4py-ported code
+    calling ``req.wait()`` works unchanged."""
+
+    __slots__ = ("_result",)
+
+    def __init__(self, result: Any = None):
+        self._result = result
+
+    def wait(self) -> Any:
+        """Block until complete (immediate here); returns the result."""
+        return self._result
+
+    def test(self) -> tuple[bool, Any]:
+        """Non-blocking completion check: ``(True, result)``."""
+        return True, self._result
+
+    # mpi4py spellings
+    Wait = wait  # noqa: N815 - mpi4py compatibility
+    Test = test  # noqa: N815 - mpi4py compatibility
 
 
 class ParallelError(RuntimeError):
@@ -80,7 +227,9 @@ class _Mailbox:
             self.arrivals.append((source, tag))
             self.ready.notify_all()
 
-    def get(self, source: int, tag: int, abort: threading.Event) -> tuple[Any, int, int]:
+    def get(
+        self, source: int, tag: int, abort: threading.Event, timeout: float
+    ) -> tuple[Any, int, int]:
         """Blocking matched receive; returns (payload, source, tag)."""
         with self.lock:
             while True:
@@ -98,10 +247,10 @@ class _Mailbox:
                     raise _AbortedError(
                         "parallel region aborted while waiting for message"
                     )
-                if not self.ready.wait(timeout=_DEFAULT_TIMEOUT):
+                if not self.ready.wait(timeout=timeout):
                     raise TimeoutError(
                         f"recv(source={source}, tag={tag}) timed out after "
-                        f"{_DEFAULT_TIMEOUT}s — likely deadlock"
+                        f"{timeout}s — likely deadlock"
                     )
 
     def _match(self, source: int, tag: int) -> tuple[int, int] | None:
@@ -120,16 +269,17 @@ class _Mailbox:
 class _Barrier:
     """A reusable barrier that honors the abort flag."""
 
-    def __init__(self, n: int, abort: threading.Event):
+    def __init__(self, n: int, abort: threading.Event, timeout: float):
         self._barrier = threading.Barrier(n)
         self._abort = abort
+        self._timeout = timeout
 
     def wait(self) -> None:
         if self._abort.is_set():
             self._barrier.abort()
             raise _AbortedError("parallel region aborted at barrier")
         try:
-            self._barrier.wait(timeout=_DEFAULT_TIMEOUT)
+            self._barrier.wait(timeout=self._timeout)
         except threading.BrokenBarrierError:
             raise _AbortedError("barrier broken (a peer rank failed)") from None
 
@@ -137,29 +287,40 @@ class _Barrier:
 class _World:
     """Shared state for one parallel region."""
 
-    def __init__(self, size: int):
+    def __init__(self, size: int, timeout: float | None = None):
         self.size = size
+        self.timeout = _DEFAULT_TIMEOUT if timeout is None else float(timeout)
+        # User point-to-point traffic and internal collective traffic live in
+        # disjoint mailbox channels: a wildcard user receive scans only the
+        # user channel, so it can never intercept collective messages.
         self.mailboxes = [_Mailbox() for _ in range(size)]
+        self.coll_mailboxes = [_Mailbox() for _ in range(size)]
         self.abort = threading.Event()
-        self.barrier = _Barrier(size, self.abort)
-        # Scratch slots for collectives rooted at a rank.
-        self.bcast_slot: list[Any] = [None]
+        self.barrier = _Barrier(size, self.abort, self.timeout)
 
 
 class Communicator:
     """mpi4py-flavored communicator for one rank of a parallel region.
 
     All collective operations must be invoked by every rank of the region in
-    the same order.  Tags below 2**20 are reserved for user point-to-point
-    traffic; collectives use a disjoint internal tag space.
+    the same order.  Internal collective traffic is carried on a channel
+    disjoint from user point-to-point messages (see module notes), labeled
+    with tags >= ``_COLL_TAG`` for debugging.
+
+    Public collectives are tree-based (O(log P) messages per rank); the
+    ``linear_*`` methods preserve the original O(P) root-funneled algorithms
+    as reference oracles for validation and benchmarking.  Per-rank traffic
+    counters live in :attr:`stats`.
     """
 
     _COLL_TAG = 1 << 20  # base tag for internal collective traffic
+    _COLL_STRIDE = 64  # tag slots per collective call (one per tree round)
 
     def __init__(self, rank: int, world: _World):
         self._rank = rank
         self._world = world
         self._coll_seq = 0  # per-rank collective sequence number
+        self.stats = CommStats()
 
     # ------------------------------------------------------------------
     @property
@@ -185,61 +346,351 @@ class Communicator:
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
         """Send ``obj`` to rank ``dest``.  Buffered; never blocks."""
         self._check_rank(dest)
+        self.stats.msgs_sent += 1
+        self.stats.bytes_sent += _payload_nbytes(obj)
         self._world.mailboxes[dest].put(self._rank, tag, obj)
 
-    # In this runtime sends are always buffered, so isend == send.
-    isend = send
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Nonblocking send; returns a completed :class:`Request`."""
+        self.send(obj, dest, tag)
+        return Request()
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
         """Blocking receive; returns the payload object."""
-        payload, _, _ = self._world.mailboxes[self._rank].get(
-            source, tag, self._world.abort
-        )
+        payload, _, _ = self._timed_get(self._world.mailboxes[self._rank], source, tag)
         return payload
 
     def recv_with_status(
         self, source: int = ANY_SOURCE, tag: int = ANY_TAG
     ) -> tuple[Any, int, int]:
         """Blocking receive returning ``(payload, source, tag)``."""
-        return self._world.mailboxes[self._rank].get(source, tag, self._world.abort)
+        return self._timed_get(self._world.mailboxes[self._rank], source, tag)
+
+    def _timed_get(
+        self, mailbox: _Mailbox, source: int, tag: int
+    ) -> tuple[Any, int, int]:
+        t0 = time.perf_counter()
+        try:
+            payload, src, t = mailbox.get(
+                source, tag, self._world.abort, self._world.timeout
+            )
+        finally:
+            self.stats.recv_wait_s += time.perf_counter() - t0
+        self.stats.msgs_recv += 1
+        self.stats.bytes_recv += _payload_nbytes(payload)
+        return payload, src, t
+
+    # internal collective channel -------------------------------------
+    def _coll_send(self, obj: Any, dest: int, tag: int) -> None:
+        self._check_rank(dest)
+        self.stats.msgs_sent += 1
+        self.stats.bytes_sent += _payload_nbytes(obj)
+        self._world.coll_mailboxes[dest].put(self._rank, tag, obj)
+
+    def _coll_recv(self, source: int, tag: int) -> Any:
+        payload, _, _ = self._timed_get(
+            self._world.coll_mailboxes[self._rank], source, tag
+        )
+        return payload
+
+    def _coll_recv_with_status(self, source: int, tag: int) -> tuple[Any, int, int]:
+        return self._timed_get(self._world.coll_mailboxes[self._rank], source, tag)
 
     # ------------------------------------------------------------------
-    # collectives
+    # collectives (tree algorithms)
     # ------------------------------------------------------------------
     def barrier(self) -> None:
         """Synchronize all ranks."""
-        self._world.barrier.wait()
+        self._count("barrier")
+        t0 = time.perf_counter()
+        try:
+            self._world.barrier.wait()
+        finally:
+            self.stats.barrier_wait_s += time.perf_counter() - t0
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
-        """Broadcast ``obj`` from ``root``; all ranks return it."""
+        """Broadcast ``obj`` from ``root`` along a binomial tree."""
+        self._check_rank(root)
+        self._count("bcast")
+        tag = self._next_coll_tag()
+        return self._bcast_impl(obj, root, tag)
+
+    def _bcast_impl(self, obj: Any, root: int, tag: int) -> Any:
+        size, rank = self.size, self._rank
+        if size == 1:
+            return obj
+        vrank = (rank - root) % size
+        if vrank != 0:
+            hb = 1 << (vrank.bit_length() - 1)  # highest set bit: parent link
+            parent = (vrank - hb + root) % size
+            obj = self._coll_recv(parent, tag)
+        k = 1 << vrank.bit_length()  # children are vrank + 2^j for 2^j > vrank
+        while vrank + k < size:
+            self._coll_send(obj, (vrank + k + root) % size, tag)
+            k <<= 1
+        return obj
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        """Gather one object per rank at ``root`` (rank order); None elsewhere.
+
+        Binomial tree: each rank forwards its merged subtree once, so the
+        root receives ceil(log2 P) bundles instead of P-1 messages."""
+        self._check_rank(root)
+        self._count("gather")
+        tag = self._next_coll_tag()
+        size, rank = self.size, self._rank
+        if size == 1:
+            return [obj]
+        vrank = (rank - root) % size
+        subtree: dict[int, Any] = {vrank: obj}
+        k = 1
+        while k < size:
+            if vrank & k:
+                self._coll_send(subtree, (vrank - k + root) % size, tag)
+                return None
+            child = vrank + k
+            if child < size:
+                subtree.update(self._coll_recv((child + root) % size, tag))
+            k <<= 1
+        return [subtree[(r - root) % size] for r in range(size)]
+
+    def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
+        """Scatter ``size`` objects from ``root``; each rank returns its item.
+
+        Binomial (recursive-halving) tree: the root sends log2 P bundles,
+        each internal node forwards halves of its range downward."""
+        self._check_rank(root)
+        self._count("scatter")
+        tag = self._next_coll_tag()
+        size, rank = self.size, self._rank
+        vrank = (rank - root) % size
+        if vrank == 0:
+            if objs is None or len(objs) != size:
+                raise ValueError(
+                    f"scatter at root needs exactly {size} items, got "
+                    f"{None if objs is None else len(objs)}"
+                )
+            if size == 1:
+                return objs[0]
+            bundle = {v: objs[(v + root) % size] for v in range(size)}
+            span = 1
+            while span < size:
+                span <<= 1
+        else:
+            lsb = vrank & -vrank  # node owns vrange [vrank, vrank + lsb)
+            parent = (vrank - lsb + root) % size
+            bundle = self._coll_recv(parent, tag)
+            span = lsb
+        while span > 1:
+            half = span >> 1
+            child = vrank + half
+            if child < size:
+                sub = {
+                    v: bundle.pop(v)
+                    for v in range(child, min(child + half, size))
+                    if v in bundle
+                }
+                self._coll_send(sub, (child + root) % size, tag)
+            span = half
+        return bundle[vrank]
+
+    def reduce(
+        self, obj: Any, op: Callable[[Any, Any], Any] = None, root: int = 0
+    ) -> Any | None:
+        """Reduce one contribution per rank to ``root`` with ``op`` (default +).
+
+        Binomial tree rooted at rank 0 (combining in rank order, so
+        non-commutative ops are safe); for another root the result is
+        forwarded with one extra message."""
+        self._check_rank(root)
+        self._count("reduce")
+        op = op or operator.add
+        tag = self._next_coll_tag()
+        return self._reduce_impl(obj, op, root, tag)
+
+    def _reduce_impl(
+        self, obj: Any, op: Callable[[Any, Any], Any], root: int, tag: int
+    ) -> Any | None:
+        rank, size = self._rank, self.size
+        acc = obj
+        stride = 1
+        while stride < size:
+            if rank % (2 * stride) == stride:
+                self._coll_send(acc, rank - stride, tag)
+                acc = None
+                break
+            if rank % (2 * stride) == 0:
+                partner = rank + stride
+                if partner < size:
+                    # Lower rank on the left: preserves rank order.
+                    acc = op(acc, self._coll_recv(partner, tag))
+            stride <<= 1
+        if root == 0:
+            return acc if rank == 0 else None
+        if rank == 0:
+            self._coll_send(acc, root, tag + 1)
+            return None
+        if rank == root:
+            return self._coll_recv(0, tag + 1)
+        return None
+
+    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any] = None) -> Any:
+        """Reduce with ``op`` (default +); every rank gets the result.
+
+        Recursive doubling (log2 P rounds) when the size is a power of two;
+        otherwise a binomial reduce to rank 0 plus a binomial broadcast —
+        both O(log P) messages per rank, both rank-order safe."""
+        self._count("allreduce")
+        op = op or operator.add
+        tag = self._next_coll_tag()
+        rank, size = self._rank, self.size
+        if size == 1:
+            return obj
+        if size & (size - 1) == 0:  # power of two: recursive doubling
+            acc = obj
+            k = 1
+            rnd = 0
+            while k < size:
+                partner = rank ^ k
+                self._coll_send(acc, partner, tag + rnd)
+                other = self._coll_recv(partner, tag + rnd)
+                acc = op(acc, other) if partner > rank else op(other, acc)
+                k <<= 1
+                rnd += 1
+            return acc
+        result = self._reduce_impl(obj, op, 0, tag)
+        return self._bcast_impl(result, 0, tag + 32)
+
+    def allgather(self, obj: Any) -> list[Any]:
+        """Gather one object per rank at every rank.
+
+        Dissemination (Bruck) algorithm: in round k each rank forwards all
+        items it knows to rank+2^k and learns from rank-2^k, completing in
+        ceil(log2 P) rounds for any P."""
+        self._count("allgather")
+        tag = self._next_coll_tag()
+        rank, size = self._rank, self.size
+        if size == 1:
+            return [obj]
+        known: dict[int, Any] = {rank: obj}
+        k = 1
+        rnd = 0
+        while k < size:
+            self._coll_send(dict(known), (rank + k) % size, tag + rnd)
+            known.update(self._coll_recv((rank - k) % size, tag + rnd))
+            k <<= 1
+            rnd += 1
+        return [known[r] for r in range(size)]
+
+    def exscan(self, value: Any, op: Callable[[Any, Any], Any] = None) -> Any:
+        """Exclusive prefix reduction; rank 0 receives ``None``.
+
+        Recursive-doubling distributed scan: rank r learns progressively
+        earlier contiguous segments and prepends them, so non-commutative
+        ops are safe.  Used by the parallel writer to turn per-rank byte
+        counts into file offsets, exactly as DIY does with ``MPI_Exscan``.
+        """
+        self._count("exscan")
+        op = op or operator.add
+        tag = self._next_coll_tag()
+        rank, size = self._rank, self.size
+        result = None  # exclusive prefix over ranks [x, rank)
+        acc = value  # reduction of a contiguous range ending at this rank
+        stride = 1
+        rnd = 0
+        while stride < size:
+            if rank + stride < size:
+                self._coll_send(acc, rank + stride, tag + rnd)
+            if rank - stride >= 0:
+                other = self._coll_recv(rank - stride, tag + rnd)
+                result = other if result is None else op(other, result)
+                acc = op(other, acc)
+            stride <<= 1
+            rnd += 1
+        return result
+
+    def alltoall(self, objs: Sequence[Any]) -> list[Any]:
+        """Exchange ``objs[d]`` to each rank ``d``; returns items received
+        from every rank, in rank order.  Dense: O(P) messages per rank by
+        construction — use :meth:`sparse_alltoall` when most entries are
+        empty."""
+        if len(objs) != self.size:
+            raise ValueError(f"alltoall needs {self.size} items, got {len(objs)}")
+        self._count("alltoall")
+        tag = self._next_coll_tag()
+        for dst in range(self.size):
+            if dst != self._rank:
+                self._coll_send(objs[dst], dst, tag)
+        out: list[Any] = [None] * self.size
+        out[self._rank] = objs[self._rank]
+        for src in range(self.size):
+            if src != self._rank:
+                out[src] = self._coll_recv(src, tag)
+        return out
+
+    def sparse_alltoall(self, outbox: Mapping[int, Any]) -> dict[int, Any]:
+        """Point-to-point exchange of per-destination payloads (collective).
+
+        Every rank passes a mapping from destination rank to payload,
+        containing only the destinations it actually addresses.  Returns the
+        mapping from source rank to received payload.  A small header round
+        (an elementwise-summed count vector, itself a tree allreduce) tells
+        each rank how many payloads to expect, so total message cost is
+        O(neighbors + log P) instead of the dense alltoall's O(P).
+        """
+        self._count("sparse_alltoall")
+        counts = np.zeros(self.size, dtype=np.int64)
+        for dest in outbox:
+            self._check_rank(dest)
+            if dest != self._rank:
+                counts[dest] = 1
+        incoming = self.allreduce(counts)
+        tag = self._next_coll_tag()
+        for dest in sorted(outbox):
+            if dest != self._rank:
+                self._coll_send(outbox[dest], dest, tag)
+        received: dict[int, Any] = {}
+        for _ in range(int(incoming[self._rank])):
+            payload, src, _ = self._coll_recv_with_status(ANY_SOURCE, tag)
+            received[src] = payload
+        if self._rank in outbox:
+            received[self._rank] = outbox[self._rank]
+        return received
+
+    # ------------------------------------------------------------------
+    # linear reference collectives (the original O(P) algorithms)
+    # ------------------------------------------------------------------
+    def linear_bcast(self, obj: Any, root: int = 0) -> Any:
+        """Root-funneled broadcast: root sends to every rank (oracle)."""
+        self._check_rank(root)
+        self._count("linear_bcast")
         tag = self._next_coll_tag()
         if self._rank == root:
             for dst in range(self.size):
                 if dst != root:
-                    self.send(obj, dst, tag)
+                    self._coll_send(obj, dst, tag)
             return obj
-        return self.recv(root, tag)
+        return self._coll_recv(root, tag)
 
-    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
-        """Gather one object per rank at ``root`` (rank order); None elsewhere."""
+    def linear_gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        """Root-funneled gather: every rank sends to root (oracle)."""
+        self._check_rank(root)
+        self._count("linear_gather")
         tag = self._next_coll_tag()
         if self._rank == root:
             out: list[Any] = [None] * self.size
             out[root] = obj
             for src in range(self.size):
                 if src != root:
-                    out[src] = self.recv(src, tag)
+                    out[src] = self._coll_recv(src, tag)
             return out
-        self.send(obj, root, tag)
+        self._coll_send(obj, root, tag)
         return None
 
-    def allgather(self, obj: Any) -> list[Any]:
-        """Gather one object per rank at every rank."""
-        gathered = self.gather(obj, root=0)
-        return self.bcast(gathered, root=0)
-
-    def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
-        """Scatter ``size`` objects from ``root``; each rank returns its item."""
+    def linear_scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
+        """Root-funneled scatter (oracle)."""
+        self._check_rank(root)
+        self._count("linear_scatter")
         tag = self._next_coll_tag()
         if self._rank == root:
             if objs is None or len(objs) != self.size:
@@ -249,18 +700,16 @@ class Communicator:
                 )
             for dst in range(self.size):
                 if dst != root:
-                    self.send(objs[dst], dst, tag)
+                    self._coll_send(objs[dst], dst, tag)
             return objs[root]
-        return self.recv(root, tag)
+        return self._coll_recv(root, tag)
 
-    def reduce(
+    def linear_reduce(
         self, obj: Any, op: Callable[[Any, Any], Any] = None, root: int = 0
     ) -> Any | None:
-        """Reduce one contribution per rank to ``root`` with ``op`` (default +)."""
-        import operator
-
+        """Gather-then-fold reduction at root, in rank order (oracle)."""
         op = op or operator.add
-        vals = self.gather(obj, root=root)
+        vals = self.linear_gather(obj, root=root)
         if self._rank != root:
             return None
         acc = vals[0]
@@ -268,20 +717,18 @@ class Communicator:
             acc = op(acc, v)
         return acc
 
-    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any] = None) -> Any:
-        """Reduce with ``op`` (default +) and broadcast the result."""
-        return self.bcast(self.reduce(obj, op=op, root=0), root=0)
+    def linear_allreduce(self, obj: Any, op: Callable[[Any, Any], Any] = None) -> Any:
+        """Linear reduce to rank 0 plus linear broadcast (oracle)."""
+        return self.linear_bcast(self.linear_reduce(obj, op=op, root=0), root=0)
 
-    def exscan(self, value: Any, op: Callable[[Any, Any], Any] = None) -> Any:
-        """Exclusive prefix reduction; rank 0 receives ``None``.
+    def linear_allgather(self, obj: Any) -> list[Any]:
+        """Linear gather at rank 0 plus linear broadcast (oracle)."""
+        return self.linear_bcast(self.linear_gather(obj, root=0), root=0)
 
-        Used by the parallel writer to turn per-rank byte counts into file
-        offsets, exactly as DIY does with ``MPI_Exscan``.
-        """
-        import operator
-
+    def linear_exscan(self, value: Any, op: Callable[[Any, Any], Any] = None) -> Any:
+        """Allgather-then-fold exclusive scan (oracle)."""
         op = op or operator.add
-        vals = self.allgather(value)
+        vals = self.linear_allgather(value)
         if self._rank == 0:
             return None
         acc = vals[0]
@@ -289,28 +736,17 @@ class Communicator:
             acc = op(acc, v)
         return acc
 
-    def alltoall(self, objs: Sequence[Any]) -> list[Any]:
-        """Exchange ``objs[d]`` to each rank ``d``; returns items received
-        from every rank, in rank order."""
-        if len(objs) != self.size:
-            raise ValueError(f"alltoall needs {self.size} items, got {len(objs)}")
-        tag = self._next_coll_tag()
-        for dst in range(self.size):
-            if dst != self._rank:
-                self.send(objs[dst], dst, tag)
-        out: list[Any] = [None] * self.size
-        out[self._rank] = objs[self._rank]
-        for src in range(self.size):
-            if src != self._rank:
-                out[src] = self.recv(src, tag)
-        return out
-
     # ------------------------------------------------------------------
+    def _count(self, name: str) -> None:
+        calls = self.stats.collective_calls
+        calls[name] = calls.get(name, 0) + 1
+
     def _next_coll_tag(self) -> int:
         # Collectives execute in the same order on all ranks, so a per-rank
-        # sequence number yields matching tags without coordination.
+        # sequence number yields matching tags without coordination.  Each
+        # call reserves _COLL_STRIDE tag slots for its tree rounds.
         self._coll_seq += 1
-        return self._COLL_TAG + self._coll_seq
+        return self._COLL_TAG + self._coll_seq * self._COLL_STRIDE
 
     def _check_rank(self, r: int) -> None:
         if not 0 <= r < self.size:
@@ -321,6 +757,7 @@ def run_parallel(
     nranks: int,
     func: Callable[..., Any],
     *args: Any,
+    recv_timeout: float | None = None,
     **kwargs: Any,
 ) -> list[Any]:
     """Run ``func(comm, *args, **kwargs)`` on ``nranks`` ranks; return results.
@@ -330,6 +767,9 @@ def run_parallel(
     is aborted and a :class:`ParallelError` wrapping the first failure is
     raised.
 
+    ``recv_timeout`` bounds how long a matched receive or barrier may block
+    before the region is declared deadlocked (default 300 s).
+
     ``nranks == 1`` runs inline on the calling thread (serial mode — the
     paper's standalone/serial configuration) which keeps single-rank paths
     easy to debug and profile.
@@ -337,7 +777,7 @@ def run_parallel(
     if nranks < 1:
         raise ValueError(f"nranks must be >= 1, got {nranks}")
 
-    world = _World(nranks)
+    world = _World(nranks, timeout=recv_timeout)
 
     if nranks == 1:
         return [func(Communicator(0, world), *args, **kwargs)]
@@ -354,8 +794,8 @@ def run_parallel(
                 errors.append(ParallelError(rank, exc))
             world.abort.set()
             world.barrier._barrier.abort()  # wake ranks blocked at a barrier
-            # Wake any rank blocked in a matched receive.
-            for mb in world.mailboxes:
+            # Wake any rank blocked in a matched receive (either channel).
+            for mb in world.mailboxes + world.coll_mailboxes:
                 with mb.lock:
                     mb.ready.notify_all()
 

@@ -130,12 +130,15 @@ def write_blocks(
         os.close(fd)
 
     all_entries = comm.gather(index_entries, root=0)
-    total_payload = comm.allreduce(local_size)
+    # One tree allreduce carries both footer inputs (bytes and block count).
+    total_payload, total_blocks = comm.allreduce(
+        (local_size, len(blocks)), op=lambda a, b: (a[0] + b[0], a[1] + b[1])
+    )
     footer_offset = HEADER_SIZE + int(total_payload)
+    nblocks = nblocks_total if nblocks_total is not None else int(total_blocks)
 
     if comm.rank == 0:
         flat = sorted((e for per_rank in all_entries for e in per_rank))
-        nblocks = nblocks_total if nblocks_total is not None else len(flat)
         if len(flat) != nblocks:
             raise ValueError(
                 f"expected {nblocks} blocks in file, wrote {len(flat)}"
@@ -157,7 +160,6 @@ def write_blocks(
             os.close(fd)
 
     comm.barrier()
-    nblocks = nblocks_total if nblocks_total is not None else comm.allreduce(len(blocks))
     return footer_offset + nblocks * _INDEX_ENTRY.size + _TRAILER.size
 
 

@@ -7,6 +7,13 @@ extrema) cost logarithmic depth instead of the linear gather used by naive
 implementations.  tess's companion tools use it for their summary
 statistics.
 
+The binomial combine now lives in the communicator itself
+(:meth:`repro.diy.comm.Communicator.reduce` /
+:meth:`~repro.diy.comm.Communicator.allreduce` are tree-based and carry
+their traffic on the isolated internal collective channel, out of reach of
+user wildcard receives); these wrappers are kept as the stable DIY-flavored
+entry points.
+
 The ``op`` must be associative; commutativity is not required (partners
 are combined in rank order).
 """
@@ -18,8 +25,6 @@ from typing import Any, Callable
 from .comm import Communicator
 
 __all__ = ["tree_reduce", "tree_allreduce"]
-
-_TAG_BASE = 1 << 19  # below the collective tag space, above user tags
 
 
 def tree_reduce(
@@ -35,38 +40,11 @@ def tree_reduce(
     forwarded (one extra message), keeping the implementation simple while
     preserving the log-depth combine structure.
     """
-    if not 0 <= root < comm.size:
-        raise ValueError(f"root {root} out of range [0, {comm.size})")
-    acc = value
-    rank, size = comm.rank, comm.size
-    round_no = 0
-    stride = 1
-    while stride < size:
-        tag = _TAG_BASE + round_no
-        if rank % (2 * stride) == 0:
-            partner = rank + stride
-            if partner < size:
-                other = comm.recv(source=partner, tag=tag)
-                acc = op(acc, other)  # lower rank on the left: rank order
-        elif rank % (2 * stride) == stride:
-            comm.send(acc, dest=rank - stride, tag=tag)
-            acc = None
-        stride *= 2
-        round_no += 1
-
-    if root != 0:
-        tag = _TAG_BASE + 64
-        if rank == 0:
-            comm.send(acc, dest=root, tag=tag)
-            return None
-        if rank == root:
-            return comm.recv(source=0, tag=tag)
-        return None
-    return acc if rank == 0 else None
+    return comm.reduce(value, op=op, root=root)
 
 
 def tree_allreduce(
     comm: Communicator, value: Any, op: Callable[[Any, Any], Any]
 ) -> Any:
     """Tree reduction followed by a broadcast; every rank gets the result."""
-    return comm.bcast(tree_reduce(comm, value, op, root=0), root=0)
+    return comm.allreduce(value, op=op)

@@ -7,7 +7,7 @@ storage for postprocessing.
 """
 
 from .config import FrameworkConfig, ToolConfig
-from .framework import CosmologyToolsFramework, run_simulation_with_tools
+from .framework import CosmologyToolsFramework, InsituResults, run_simulation_with_tools
 from .tools import (
     TOOL_REGISTRY,
     AnalysisTool,
@@ -22,6 +22,7 @@ __all__ = [
     "FrameworkConfig",
     "ToolConfig",
     "CosmologyToolsFramework",
+    "InsituResults",
     "run_simulation_with_tools",
     "TOOL_REGISTRY",
     "AnalysisTool",

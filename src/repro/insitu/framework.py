@@ -10,14 +10,15 @@ uses.
 
 from __future__ import annotations
 
-from typing import Any
+from collections.abc import Mapping
+from typing import Any, Iterator
 
 from ..diy.comm import Communicator, run_parallel
 from ..hacc.simulation import HACCSimulation, SimulationConfig
 from .config import FrameworkConfig
 from .tools import TOOL_REGISTRY, AnalysisTool
 
-__all__ = ["CosmologyToolsFramework", "run_simulation_with_tools"]
+__all__ = ["CosmologyToolsFramework", "InsituResults", "run_simulation_with_tools"]
 
 
 class CosmologyToolsFramework:
@@ -120,15 +121,49 @@ class CosmologyToolsFramework:
         return getattr(self, "_simulation_seconds", 0.0)
 
 
+class InsituResults(Mapping):
+    """Per-tool result store plus run-level metrics.
+
+    Behaves exactly like the ``{tool_name: {step: result}}`` mapping the
+    driver used to return (indexing, iteration, ``in``), and additionally
+    carries :attr:`simulation_seconds` — the cross-rank maximum wall-clock
+    time spent stepping the simulation itself, i.e. the denominator for the
+    paper's "analysis costs X% of simulation" accounting.
+    """
+
+    def __init__(
+        self, results: dict[str, dict[int, Any]], simulation_seconds: float
+    ) -> None:
+        self._results = results
+        self.simulation_seconds = simulation_seconds
+
+    def __getitem__(self, tool_name: str) -> dict[int, Any]:
+        return self._results[tool_name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._results)
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __repr__(self) -> str:
+        return (
+            f"InsituResults(tools={sorted(self._results)}, "
+            f"simulation_seconds={self.simulation_seconds:.3g})"
+        )
+
+
 def run_simulation_with_tools(
     sim_config: SimulationConfig,
     framework_config: FrameworkConfig | dict,
     nranks: int = 1,
-) -> dict[str, dict[int, Any]]:
+) -> InsituResults:
     """Convenience driver: simulate with tools attached; return results.
 
     Results are identical on every rank (tools broadcast their gathered
-    outputs), so the rank-0 result store is returned.
+    outputs), so the rank-0 result store is returned, wrapped in an
+    :class:`InsituResults` that also reports the max-over-ranks simulation
+    stepping time.
     """
     if isinstance(framework_config, dict):
         framework_config = FrameworkConfig.from_dict(framework_config)
@@ -139,4 +174,5 @@ def run_simulation_with_tools(
         return fw.results, fw.simulation_seconds
 
     results = run_parallel(nranks, worker)
-    return results[0][0]
+    sim_seconds = max(seconds for _, seconds in results)
+    return InsituResults(results[0][0], sim_seconds)

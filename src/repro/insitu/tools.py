@@ -111,11 +111,10 @@ class TessellationTool(AnalysisTool):
             output_path=path,
         )
         blocks = comm.gather(block, root=0)
-        all_timings = comm.gather(timings, root=0)
+        # Critical-path timings (incl. comm-blocked time and message/byte
+        # counters) combine up the binomial reduce tree in rank order.
+        reduced = comm.reduce(timings, op=TessTimings.max_with, root=0)
         if comm.rank == 0:
-            reduced = TessTimings()
-            for t in all_timings:
-                reduced = reduced.max_with(t)
             tess = Tessellation(
                 domain=sim.config.domain(),
                 blocks=blocks,

@@ -1,0 +1,377 @@
+"""Tests for the scalable communication layer: tag-space isolation,
+tree collectives vs. the linear reference oracles, the sparse exchange
+path, and the CommStats observability counters."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.diy.bounds import Bounds
+from repro.diy.comm import (
+    ANY_SOURCE,
+    ANY_TAG,
+    ParallelError,
+    Request,
+    run_parallel,
+)
+from repro.diy.decomposition import Decomposition
+from repro.diy.exchange import NeighborExchanger
+
+
+class TestTagIsolation:
+    def test_wildcard_recv_cannot_steal_collective_traffic(self):
+        """Regression: a user recv(ANY_SOURCE, ANY_TAG) posted while a
+        collective's internal message sits in the mailbox must match the
+        user message, not the collective payload.
+
+        On the old single-channel matching logic the wildcard matched the
+        first arrival — the bcast payload — silently corrupting both the
+        user receive and the broadcast."""
+
+        def worker(comm):
+            if comm.rank == 0:
+                comm.bcast("collective-secret", root=0)
+                comm.send("user-msg", dest=1, tag=5)
+                comm.send("ready", dest=1, tag=7)
+                return None
+            comm.recv(source=0, tag=7)  # both earlier messages have arrived
+            payload, src, tag = comm.recv_with_status(ANY_SOURCE, ANY_TAG)
+            got = comm.bcast(None, root=0)
+            return payload, src, tag, got
+
+        payload, src, tag, got = run_parallel(2, worker)[1]
+        assert payload == "user-msg"
+        assert (src, tag) == (0, 5)
+        assert got == "collective-secret"
+
+    def test_wildcard_recv_during_repeated_collectives(self):
+        """Wildcard receives interleaved with many collectives stay clean."""
+
+        def worker(comm):
+            out = []
+            for i in range(20):
+                if comm.rank == 0:
+                    comm.send(("user", i), dest=1, tag=3)
+                total = comm.allreduce(1)
+                assert total == comm.size
+                if comm.rank == 1:
+                    out.append(comm.recv(ANY_SOURCE, ANY_TAG))
+            return out
+
+        out = run_parallel(3, worker)[1]
+        assert out == [("user", i) for i in range(20)]
+
+
+# Non-commutative ops exercise the rank-order guarantee: string
+# concatenation distinguishes every combine order.
+def _concat(a, b):
+    return a + b
+
+
+class TestTreeVsLinearOracles:
+    """Tree collectives must produce results identical to the original
+    linear algorithms, for every size 1-9 and every root."""
+
+    SIZES = list(range(1, 10))
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_bcast(self, n):
+        def worker(comm):
+            for root in range(comm.size):
+                value = {"root": root, "data": list(range(root))}
+                tree = comm.bcast(value if comm.rank == root else None, root=root)
+                lin = comm.linear_bcast(value if comm.rank == root else None, root=root)
+                assert tree == lin == value
+            return True
+
+        assert all(run_parallel(n, worker))
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_gather(self, n):
+        def worker(comm):
+            for root in range(comm.size):
+                tree = comm.gather(f"r{comm.rank}", root=root)
+                lin = comm.linear_gather(f"r{comm.rank}", root=root)
+                assert tree == lin
+                if comm.rank == root:
+                    assert tree == [f"r{i}" for i in range(comm.size)]
+                else:
+                    assert tree is None
+            return True
+
+        assert all(run_parallel(n, worker))
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_scatter(self, n):
+        def worker(comm):
+            for root in range(comm.size):
+                objs = [i * 10 for i in range(comm.size)] if comm.rank == root else None
+                tree = comm.scatter(objs, root=root)
+                objs = [i * 10 for i in range(comm.size)] if comm.rank == root else None
+                lin = comm.linear_scatter(objs, root=root)
+                assert tree == lin == comm.rank * 10
+            return True
+
+        assert all(run_parallel(n, worker))
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_reduce_non_commutative(self, n):
+        def worker(comm):
+            for root in range(comm.size):
+                tree = comm.reduce(f"[{comm.rank}]", op=_concat, root=root)
+                lin = comm.linear_reduce(f"[{comm.rank}]", op=_concat, root=root)
+                assert tree == lin
+                if comm.rank == root:
+                    assert tree == "".join(f"[{i}]" for i in range(comm.size))
+            return True
+
+        assert all(run_parallel(n, worker))
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_allreduce_non_commutative(self, n):
+        def worker(comm):
+            tree = comm.allreduce(f"[{comm.rank}]", op=_concat)
+            lin = comm.linear_allreduce(f"[{comm.rank}]", op=_concat)
+            assert tree == lin
+            return tree
+
+        expected = "".join(f"[{i}]" for i in range(n))
+        assert run_parallel(n, worker) == [expected] * n
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_allreduce_numpy_sum(self, n):
+        def worker(comm):
+            vec = np.full(4, float(comm.rank + 1))
+            return comm.allreduce(vec)
+
+        total = n * (n + 1) / 2
+        for row in run_parallel(n, worker):
+            np.testing.assert_allclose(row, total)
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_allgather(self, n):
+        def worker(comm):
+            tree = comm.allgather((comm.rank, "x" * comm.rank))
+            lin = comm.linear_allgather((comm.rank, "x" * comm.rank))
+            assert tree == lin
+            return tree
+
+        expected = [(i, "x" * i) for i in range(n)]
+        assert run_parallel(n, worker) == [expected] * n
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_exscan_non_commutative(self, n):
+        def worker(comm):
+            tree = comm.exscan(f"[{comm.rank}]", op=_concat)
+            lin = comm.linear_exscan(f"[{comm.rank}]", op=_concat)
+            assert tree == lin
+            return tree
+
+        out = run_parallel(n, worker)
+        assert out[0] is None
+        for r in range(1, n):
+            assert out[r] == "".join(f"[{i}]" for i in range(r))
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_exscan_offsets(self, n):
+        """The parallel-writer use case: byte counts to file offsets."""
+
+        def worker(comm):
+            return comm.exscan(100 * (comm.rank + 1))
+
+        out = run_parallel(n, worker)
+        assert out[0] is None
+        for r in range(1, n):
+            assert out[r] == sum(100 * (i + 1) for i in range(r))
+
+    def test_tree_message_counts_logarithmic(self):
+        """The busiest rank sends/receives O(log P), not O(P)."""
+
+        def worker(comm):
+            s0 = comm.stats.snapshot()
+            comm.bcast("x" if comm.rank == 0 else None, root=0)
+            bcast_sent = comm.stats.since(s0).msgs_sent
+            s1 = comm.stats.snapshot()
+            comm.linear_bcast("x" if comm.rank == 0 else None, root=0)
+            linear_sent = comm.stats.since(s1).msgs_sent
+            return bcast_sent, linear_sent
+
+        n = 8
+        out = run_parallel(n, worker)
+        assert max(t for t, _ in out) == 3  # log2(8)
+        assert max(l for _, l in out) == n - 1  # root funnels to everyone
+
+
+class TestSparseExchange:
+    def test_sparse_matches_dense_periodic_2x2x2(self):
+        decomp = Decomposition(Bounds.cube(8.0), (2, 2, 2), periodic=True)
+
+        def worker(comm, dense):
+            ex = NeighborExchanger(decomp, comm)
+            gid = comm.rank
+            for link in decomp.block(gid).links:
+                ex.enqueue(gid, link, (gid, link.gid, tuple(link.direction)))
+            inbox = ex.exchange(dense=dense)
+            return inbox[gid]
+
+        dense = run_parallel(8, worker, True)
+        sparse = run_parallel(8, worker, False)
+        assert sparse == dense
+        assert all(len(batch) > 0 for batch in sparse)
+
+    def test_sparse_skips_silent_ranks(self):
+        """Only ranks with queued payloads send payload messages."""
+        decomp = Decomposition(Bounds.cube(8.0), (4, 1, 1), periodic=False)
+
+        def worker(comm):
+            ex = NeighborExchanger(decomp, comm)
+            gid = comm.rank
+            if gid == 0:  # only block 0 talks, to its single +x neighbor
+                link = next(l for l in decomp.block(0).links if l.gid == 1)
+                ex.enqueue(0, link, "hello")
+            s0 = comm.stats.snapshot()
+            inbox = ex.exchange()
+            delta = comm.stats.since(s0)
+            return inbox[gid], delta.as_dict()
+
+        out = run_parallel(4, worker)
+        assert out[1][0] == [(0, "hello")]
+        assert all(out[r][0] == [] for r in (0, 2, 3))
+        # Header allreduce only: sparse payload messages on the silent ranks
+        # are exactly zero, so their traffic is the O(log P) header round.
+        payload_msgs = [out[r][1]["msgs_sent"] for r in range(4)]
+        dense_msgs = 3  # what alltoall would cost every rank
+        assert payload_msgs[0] <= dense_msgs + 2  # header + 1 payload
+        for r in (2, 3):
+            assert payload_msgs[r] <= dense_msgs  # no payload sends at all
+
+    def test_sparse_empty_everywhere(self):
+        decomp = Decomposition(Bounds.cube(8.0), (2, 1, 1), periodic=False)
+
+        def worker(comm):
+            ex = NeighborExchanger(decomp, comm)
+            return ex.exchange()
+
+        out = run_parallel(2, worker)
+        assert out == [{0: []}, {1: []}]
+
+    def test_ghost_exchange_dense_flag_equivalent(self):
+        decomp = Decomposition(Bounds.cube(4.0), (2, 2, 2), periodic=True)
+        rng = np.random.default_rng(7)
+        pts = rng.uniform(0, 4.0, size=(160, 3))
+        ids = np.arange(160, dtype=np.int64)
+        owners = decomp.locate(pts)
+
+        from repro.core.ghost import exchange_ghost_particles
+
+        def worker(comm, dense):
+            mine = owners == comm.rank
+            gpos, gids = exchange_ghost_particles(
+                decomp, comm, comm.rank, pts[mine], ids[mine], ghost=1.0,
+                dense=dense,
+            )
+            return np.sort(gids), np.round(gpos[np.argsort(gids)], 9)
+
+        dense = run_parallel(8, worker, True)
+        sparse = run_parallel(8, worker, False)
+        for (di, dp), (si, sp) in zip(dense, sparse):
+            np.testing.assert_array_equal(di, si)
+            assert len(di) > 0
+
+
+class TestCommStats:
+    def test_p2p_counters(self):
+        payload = np.arange(10, dtype=np.float64)  # 80 bytes
+
+        def worker(comm):
+            if comm.rank == 0:
+                comm.send(payload, dest=1, tag=1)
+            else:
+                comm.recv(source=0, tag=1)
+            return comm.stats.as_dict()
+
+        s0, s1 = run_parallel(2, worker)
+        assert s0["msgs_sent"] == 1 and s0["bytes_sent"] == 80
+        assert s0["msgs_recv"] == 0
+        assert s1["msgs_recv"] == 1 and s1["bytes_recv"] == 80
+        assert s1["msgs_sent"] == 0
+
+    def test_collective_call_counts(self):
+        def worker(comm):
+            comm.bcast(1, root=0)
+            comm.bcast(2, root=0)
+            comm.allreduce(3)
+            comm.barrier()
+            return dict(comm.stats.collective_calls)
+
+        for calls in run_parallel(3, worker):
+            assert calls["bcast"] == 2
+            assert calls["allreduce"] == 1
+            assert calls["barrier"] == 1
+
+    def test_recv_wait_time_recorded(self):
+        def worker(comm):
+            if comm.rank == 0:
+                time.sleep(0.08)
+                comm.send("late", dest=1, tag=1)
+                return 0.0
+            comm.recv(source=0, tag=1)
+            return comm.stats.recv_wait_s
+
+        waited = run_parallel(2, worker)[1]
+        assert waited >= 0.05
+
+    def test_snapshot_since_isolates_regions(self):
+        def worker(comm):
+            comm.allreduce(1)
+            before = comm.stats.snapshot()
+            comm.allreduce(2)
+            delta = comm.stats.since(before)
+            return delta.collective_calls.get("allreduce")
+
+        assert run_parallel(2, worker) == [1, 1]
+
+    def test_tessellation_timings_carry_comm_counters(self):
+        from repro.core import tessellate
+
+        rng = np.random.default_rng(11)
+        pts = rng.uniform(0, 8.0, size=(300, 3))
+        tess = tessellate(pts, Bounds.cube(8.0), nblocks=2, ghost=3.0)
+        t = tess.timings
+        assert t.msgs_sent > 0 and t.msgs_recv > 0
+        assert t.bytes_sent > 0
+        assert t.comm_wait >= 0.0
+        # The paper-table row keys are unchanged.
+        assert sorted(t.as_row()) == [
+            "compute_s", "exchange_s", "output_s", "tess_total_s", "wall_total_s",
+        ]
+
+
+class TestRequest:
+    def test_isend_returns_completed_request(self):
+        def worker(comm):
+            if comm.rank == 0:
+                req = comm.isend({"k": 1}, dest=1, tag=2)
+                assert isinstance(req, Request)
+                assert req.wait() is None
+                flag, _ = req.test()
+                assert flag
+                return True
+            return comm.recv(source=0, tag=2)
+
+        out = run_parallel(2, worker)
+        assert out == [True, {"k": 1}]
+
+
+class TestConfigurableTimeout:
+    def test_recv_timeout_argument(self):
+        def worker(comm):
+            if comm.rank == 1:
+                comm.recv(source=0, tag=9)  # never sent
+
+        t0 = time.perf_counter()
+        with pytest.raises(ParallelError) as exc:
+            run_parallel(2, worker, recv_timeout=0.2)
+        assert isinstance(exc.value.original, TimeoutError)
+        assert time.perf_counter() - t0 < 30.0

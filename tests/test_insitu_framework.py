@@ -105,6 +105,21 @@ class TestFramework:
         for sid, v in vs.items():
             assert vp[sid] == pytest.approx(v, rel=1e-6)
 
+    def test_simulation_seconds_aggregated(self):
+        """The driver reports max-over-ranks simulation stepping time and
+        still behaves like the plain results mapping."""
+        from repro.insitu import InsituResults
+
+        cfg = SimulationConfig(np_side=8, nsteps=3, seed=9)
+        spec = {"tools": [{"tool": "statistics", "steps": [3]}]}
+        results = run_simulation_with_tools(cfg, spec, nranks=2)
+        assert isinstance(results, InsituResults)
+        assert results.simulation_seconds > 0
+        assert "statistics" in results
+        assert sorted(results) == ["statistics"]
+        assert len(results) == 1
+        assert 3 in results["statistics"]
+
     def test_halo_tool_runs(self):
         cfg = SimulationConfig(np_side=12, nsteps=15, seed=3)
         results = run_simulation_with_tools(
