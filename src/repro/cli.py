@@ -41,7 +41,14 @@ def _build_tess_parser() -> argparse.ArgumentParser:
     p.add_argument("--blocks", type=int, default=1, help="block/rank count")
     p.add_argument("--ghost", type=float, default=None,
                    help="ghost-zone size (default: 4 mean spacings)")
-    p.add_argument("--backend", choices=("qhull", "clip"), default="qhull")
+    p.add_argument("--backend", choices=("qhull", "clip"), default="qhull",
+                   help="geometry backend")
+    p.add_argument("--exec-backend", choices=("thread", "process"),
+                   default="thread", dest="exec_backend",
+                   help="SPMD execution backend: thread (default; GIL-bound) "
+                        "or process (one OS process per rank)")
+    p.add_argument("--ranks", type=int, default=None,
+                   help="rank count (default: one rank per block)")
     p.add_argument("--vmin", type=float, default=None, help="minimum cell volume")
     p.add_argument("--vmax", type=float, default=None, help="maximum cell volume")
     p.add_argument("--no-periodic", action="store_true",
@@ -83,6 +90,8 @@ def tess_main(argv: list[str] | None = None) -> int:
         vmin=args.vmin,
         vmax=args.vmax,
         output_path=args.output,
+        nranks=args.ranks,
+        exec_backend=args.exec_backend,
     )
     vols = tess.volumes()
     print(f"points:        {len(points)}")
@@ -107,7 +116,11 @@ def _build_sim_parser() -> argparse.ArgumentParser:
         description="Run the N-body simulation with in situ analysis tools.",
     )
     p.add_argument("deck", help="JSON input deck (simulation + tools sections)")
-    p.add_argument("--ranks", type=int, default=1, help="rank-thread count")
+    p.add_argument("--ranks", type=int, default=1, help="rank count")
+    p.add_argument("--exec-backend", choices=("thread", "process"),
+                   default="thread", dest="exec_backend",
+                   help="SPMD execution backend: thread (default; GIL-bound) "
+                        "or process (one OS process per rank)")
     return p
 
 
@@ -137,7 +150,9 @@ def sim_main(argv: list[str] | None = None) -> int:
         f"simulating {cfg.np_side}^3 particles, {cfg.nsteps} steps, "
         f"{args.ranks} rank(s)..."
     )
-    results = run_simulation_with_tools(cfg, tools_spec, nranks=args.ranks)
+    results = run_simulation_with_tools(
+        cfg, tools_spec, nranks=args.ranks, backend=args.exec_backend
+    )
     for tool, per_step in results.items():
         for step, result in sorted(per_step.items()):
             print(f"[{tool} @ step {step}] {_describe(result)}")

@@ -11,6 +11,12 @@ within the ghost distance, not to all 26.
 Payloads carry positions together with global particle ids so received
 ghosts remain identifiable (duplicate resolution and neighbor labeling both
 need the ids).
+
+Received ghosts are deduplicated and sorted deterministically, so the
+exchange yields bit-identical results on both execution backends of
+:func:`repro.diy.comm.run_parallel` (thread ranks and process ranks); on
+the process backend the position/id arrays ride the zero-copy
+shared-memory transport once they exceed the inline threshold.
 """
 
 from __future__ import annotations

@@ -275,6 +275,8 @@ def _timings_with_comm(timer: PhaseTimer, comm: Communicator, stats0) -> TessTim
     timings.msgs_recv = delta.msgs_recv
     timings.bytes_sent = delta.bytes_sent
     timings.bytes_recv = delta.bytes_recv
+    timings.shm_msgs_sent = delta.shm_msgs_sent
+    timings.shm_bytes_sent = delta.shm_bytes_sent
     return timings
 
 
@@ -348,6 +350,7 @@ def tessellate(
     vmax: float | None = None,
     output_path: str | None = None,
     nranks: int | None = None,
+    exec_backend: str = "thread",
 ) -> Tessellation:
     """Standalone-mode parallel tessellation of a global point set.
 
@@ -357,6 +360,12 @@ def tessellate(
     ghosts of thickness ``ghost`` (default: 4 mean inter-particle
     spacings, following the paper's accuracy study), tessellates, and
     gathers the result.
+
+    ``exec_backend`` selects the SPMD substrate: ``"thread"`` (default;
+    deterministic, GIL-bound) or ``"process"`` (one OS process per rank,
+    true hardware parallelism — see :func:`repro.diy.comm.run_parallel`).
+    Results are bit-identical between the two.  ``backend`` remains the
+    *geometry* backend (qhull/clip).
 
     Parameters mirror the distributed primitive; see
     :func:`tessellate_distributed`.
@@ -399,7 +408,7 @@ def tessellate(
             decomp, nranks, pts, pid, ghost, backend, vmin, vmax, output_path
         )
 
-    results = run_parallel(nranks, worker)
+    results = run_parallel(nranks, worker, backend=exec_backend)
     blocks = sorted(
         (b for local_blocks, _, _ in results for b in local_blocks),
         key=lambda b: b.gid,

@@ -1,13 +1,23 @@
-"""In-process SPMD runtime with an mpi4py-style communicator.
+"""SPMD runtime with an mpi4py-style communicator (thread + process backends).
 
 The paper's stack runs on MPI across Blue Gene/P nodes.  This module provides
-the same programming model inside one Python process: :func:`run_parallel`
-launches one thread per rank, each executing the same function with its own
-:class:`Communicator`.  The API intentionally mirrors mpi4py's lowercase
-(object, pickle-level) interface — ``send``/``recv``/``bcast``/``gather``/
-``allreduce``/``alltoall``/``exscan``/``barrier`` — so that porting the
-library onto real MPI is a mechanical substitution of the communicator
-object.
+the same programming model with two interchangeable execution backends:
+:func:`run_parallel` launches one **thread** per rank by default
+(deterministic, cheap, shared address space — the right tool for tests and
+small runs), or one **OS process** per rank with ``backend="process"``
+(true hardware parallelism; arrays travel over pipes/shared memory with
+pickle protocol-5 zero-copy transport — see
+:mod:`repro.diy.process_backend`).  Each rank executes the same function
+with its own :class:`Communicator`.  The API intentionally mirrors mpi4py's
+lowercase (object, pickle-level) interface — ``send``/``recv``/``bcast``/
+``gather``/``allreduce``/``alltoall``/``exscan``/``barrier`` — so that
+porting the library onto real MPI is a mechanical substitution of the
+communicator object.
+
+The :class:`Communicator` itself is transport-agnostic: collectives,
+matching, tags, and stats are written once against a small world interface
+(``deliver``/``inbox``/``barrier_wait``), which is exactly what lets the
+process backend reuse every tree algorithm verbatim.
 
 Design notes
 ------------
@@ -32,9 +42,12 @@ Design notes
 * Every communicator carries a :class:`CommStats` — per-rank counters for
   messages/bytes sent and received, per-collective call counts, and time
   blocked in ``recv``/``barrier`` — for communication observability.
-* NumPy arrays are passed by reference, not serialized: ranks share an
-  address space.  Senders must not mutate a buffer after sending it; all
-  call sites in this package send freshly built arrays or copies.
+* In the thread backend NumPy arrays are passed by reference, not
+  serialized: ranks share an address space.  In the process backend they
+  are pickled with protocol 5 (buffers out-of-band) and large buffers move
+  through pooled shared-memory segments.  Either way, senders must not
+  mutate a buffer after sending it; all call sites in this package send
+  freshly built arrays or copies.
 * Exceptions raised in any rank cancel the whole parallel region and are
   re-raised in the caller, with the originating rank attached.
 """
@@ -117,6 +130,11 @@ class CommStats:
     bytes_recv: int = 0
     recv_wait_s: float = 0.0
     barrier_wait_s: float = 0.0
+    #: messages whose payload (partly) traveled via shared memory
+    #: (process backend only; always 0 on the thread backend)
+    shm_msgs_sent: int = 0
+    #: payload bytes moved through shared-memory segments
+    shm_bytes_sent: int = 0
     #: collective name -> number of invocations (e.g. {"bcast": 3})
     collective_calls: dict[str, int] = field(default_factory=dict)
 
@@ -134,6 +152,8 @@ class CommStats:
             bytes_recv=self.bytes_recv,
             recv_wait_s=self.recv_wait_s,
             barrier_wait_s=self.barrier_wait_s,
+            shm_msgs_sent=self.shm_msgs_sent,
+            shm_bytes_sent=self.shm_bytes_sent,
             collective_calls=dict(self.collective_calls),
         )
 
@@ -151,6 +171,8 @@ class CommStats:
             bytes_recv=self.bytes_recv - baseline.bytes_recv,
             recv_wait_s=self.recv_wait_s - baseline.recv_wait_s,
             barrier_wait_s=self.barrier_wait_s - baseline.barrier_wait_s,
+            shm_msgs_sent=self.shm_msgs_sent - baseline.shm_msgs_sent,
+            shm_bytes_sent=self.shm_bytes_sent - baseline.shm_bytes_sent,
             collective_calls=calls,
         )
 
@@ -163,6 +185,8 @@ class CommStats:
             "bytes_recv": self.bytes_recv,
             "recv_wait_s": self.recv_wait_s,
             "barrier_wait_s": self.barrier_wait_s,
+            "shm_msgs_sent": self.shm_msgs_sent,
+            "shm_bytes_sent": self.shm_bytes_sent,
             "collective_calls": dict(self.collective_calls),
         }
 
@@ -285,7 +309,16 @@ class _Barrier:
 
 
 class _World:
-    """Shared state for one parallel region."""
+    """Shared state for one thread-backend parallel region.
+
+    Any "world" a :class:`Communicator` runs on provides this transport
+    interface: ``size``/``timeout``/``abort`` attributes plus
+    ``deliver(dest, source, tag, payload, coll)`` (returns bytes moved via
+    shared memory, 0 here), ``inbox(rank, coll)`` (the local
+    :class:`_Mailbox`), and ``barrier_wait()``.  The process backend
+    (:mod:`repro.diy.process_backend`) implements the same interface over
+    pipes and shared memory, reusing every collective verbatim.
+    """
 
     def __init__(self, size: int, timeout: float | None = None):
         self.size = size
@@ -297,6 +330,22 @@ class _World:
         self.coll_mailboxes = [_Mailbox() for _ in range(size)]
         self.abort = threading.Event()
         self.barrier = _Barrier(size, self.abort, self.timeout)
+
+    def deliver(
+        self, dest: int, source: int, tag: int, payload: Any, coll: bool = False
+    ) -> int:
+        """Hand ``payload`` to ``dest``'s mailbox (by reference; 0 shm bytes)."""
+        (self.coll_mailboxes if coll else self.mailboxes)[dest].put(
+            source, tag, payload
+        )
+        return 0
+
+    def inbox(self, rank: int, coll: bool) -> _Mailbox:
+        """The mailbox ``rank`` receives on for the given channel."""
+        return (self.coll_mailboxes if coll else self.mailboxes)[rank]
+
+    def barrier_wait(self) -> None:
+        self.barrier.wait()
 
 
 class Communicator:
@@ -348,7 +397,10 @@ class Communicator:
         self._check_rank(dest)
         self.stats.msgs_sent += 1
         self.stats.bytes_sent += _payload_nbytes(obj)
-        self._world.mailboxes[dest].put(self._rank, tag, obj)
+        shm = self._world.deliver(dest, self._rank, tag, obj, coll=False)
+        if shm:
+            self.stats.shm_msgs_sent += 1
+            self.stats.shm_bytes_sent += shm
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
         """Nonblocking send; returns a completed :class:`Request`."""
@@ -357,14 +409,16 @@ class Communicator:
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
         """Blocking receive; returns the payload object."""
-        payload, _, _ = self._timed_get(self._world.mailboxes[self._rank], source, tag)
+        payload, _, _ = self._timed_get(
+            self._world.inbox(self._rank, coll=False), source, tag
+        )
         return payload
 
     def recv_with_status(
         self, source: int = ANY_SOURCE, tag: int = ANY_TAG
     ) -> tuple[Any, int, int]:
         """Blocking receive returning ``(payload, source, tag)``."""
-        return self._timed_get(self._world.mailboxes[self._rank], source, tag)
+        return self._timed_get(self._world.inbox(self._rank, coll=False), source, tag)
 
     def _timed_get(
         self, mailbox: _Mailbox, source: int, tag: int
@@ -385,16 +439,19 @@ class Communicator:
         self._check_rank(dest)
         self.stats.msgs_sent += 1
         self.stats.bytes_sent += _payload_nbytes(obj)
-        self._world.coll_mailboxes[dest].put(self._rank, tag, obj)
+        shm = self._world.deliver(dest, self._rank, tag, obj, coll=True)
+        if shm:
+            self.stats.shm_msgs_sent += 1
+            self.stats.shm_bytes_sent += shm
 
     def _coll_recv(self, source: int, tag: int) -> Any:
         payload, _, _ = self._timed_get(
-            self._world.coll_mailboxes[self._rank], source, tag
+            self._world.inbox(self._rank, coll=True), source, tag
         )
         return payload
 
     def _coll_recv_with_status(self, source: int, tag: int) -> tuple[Any, int, int]:
-        return self._timed_get(self._world.coll_mailboxes[self._rank], source, tag)
+        return self._timed_get(self._world.inbox(self._rank, coll=True), source, tag)
 
     # ------------------------------------------------------------------
     # collectives (tree algorithms)
@@ -404,7 +461,7 @@ class Communicator:
         self._count("barrier")
         t0 = time.perf_counter()
         try:
-            self._world.barrier.wait()
+            self._world.barrier_wait()
         finally:
             self.stats.barrier_wait_s += time.perf_counter() - t0
 
@@ -758,6 +815,7 @@ def run_parallel(
     func: Callable[..., Any],
     *args: Any,
     recv_timeout: float | None = None,
+    backend: str = "thread",
     **kwargs: Any,
 ) -> list[Any]:
     """Run ``func(comm, *args, **kwargs)`` on ``nranks`` ranks; return results.
@@ -767,15 +825,34 @@ def run_parallel(
     is aborted and a :class:`ParallelError` wrapping the first failure is
     raised.
 
+    ``backend`` selects the execution substrate:
+
+    * ``"thread"`` (default) — one thread per rank, shared address space,
+      messages passed by reference.  Deterministic and cheap; GIL-bound.
+    * ``"process"`` — one forked OS process per rank; true hardware
+      parallelism.  Payloads move over pipes with pickle protocol-5
+      out-of-band buffers, large arrays through pooled shared-memory
+      segments (see :mod:`repro.diy.process_backend`).  Requires a
+      platform with ``os.fork`` (Linux/macOS).  Results must be picklable.
+
     ``recv_timeout`` bounds how long a matched receive or barrier may block
     before the region is declared deadlocked (default 300 s).
 
-    ``nranks == 1`` runs inline on the calling thread (serial mode — the
-    paper's standalone/serial configuration) which keeps single-rank paths
-    easy to debug and profile.
+    ``nranks == 1`` runs inline on the calling thread for either backend
+    (serial mode — the paper's standalone/serial configuration) which keeps
+    single-rank paths easy to debug and profile.
     """
     if nranks < 1:
         raise ValueError(f"nranks must be >= 1, got {nranks}")
+    if backend not in ("thread", "process"):
+        raise ValueError(f"unknown backend {backend!r} (use 'thread' or 'process')")
+
+    if backend == "process" and nranks > 1:
+        from .process_backend import run_parallel_processes
+
+        return run_parallel_processes(
+            nranks, func, args, kwargs, recv_timeout=recv_timeout
+        )
 
     world = _World(nranks, timeout=recv_timeout)
 

@@ -20,6 +20,14 @@ Two behaviors from the paper (§III-C1) are first-class here:
 Blocks are mapped to ranks by an :class:`Assignment` (round-robin by
 default).  Multiple blocks per rank are supported, which also gives a serial
 mode: one rank holding all blocks exchanges with itself.
+
+The exchanger is written purely against the :class:`Communicator` contract,
+so it runs unchanged on either execution backend of
+:func:`repro.diy.comm.run_parallel` — thread ranks (payloads pass by
+reference) or process ranks (payloads move with pickle protocol-5
+zero-copy/shared-memory transport).  Enqueued payloads must not be mutated
+after :meth:`NeighborExchanger.enqueue`; every call site in this package
+enqueues private copies.
 """
 
 from __future__ import annotations

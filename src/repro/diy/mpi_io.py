@@ -3,9 +3,12 @@
 All blocks of a decomposition are written into **one file**: a fixed header,
 then each block's serialized payload at an exclusive-scan byte offset, then a
 footer index of ``(gid, offset, size)`` records and a trailing pointer to the
-footer.  On real MPI this is ``MPI_File_write_at_all``; here each rank-thread
-performs positioned writes (``os.pwrite``) into the shared file, which keeps
-the exact offset arithmetic and collective structure of the original.
+footer.  On real MPI this is ``MPI_File_write_at_all``; here each rank
+performs positioned writes (``os.pwrite``) on a private descriptor into the
+shared file, which keeps the exact offset arithmetic and collective
+structure of the original — and works identically whether ranks are threads
+or OS processes (``run_parallel(..., backend="process")``), since nothing
+but the communicator is shared between ranks.
 
 The payload format is caller-defined bytes; :func:`pack_arrays` /
 :func:`unpack_arrays` provide a safe (``allow_pickle=False``) container for

@@ -1,0 +1,404 @@
+"""Process SPMD backend: one OS process per rank, pipes + shared memory.
+
+This is the second execution backend of :func:`repro.diy.comm.run_parallel`
+(``backend="process"``).  Each rank is a forked OS process, so rank code
+runs with true hardware parallelism — the GIL bounds only a single rank,
+not the region.  The :class:`~repro.diy.comm.Communicator` contract (and
+therefore every tree collective, the neighbor exchange, the parallel
+writer, and CommStats) is carried unchanged on top of a different
+transport:
+
+* every rank pair shares a duplex pipe; a per-rank receiver thread drains
+  all pipes into the same :class:`~repro.diy.comm._Mailbox` matching
+  structures the thread backend uses;
+* payloads are serialized with pickle protocol 5 — NumPy buffers move
+  out-of-band, and large ones ride pooled ``multiprocessing.shared_memory``
+  segments so ghost exchange and I/O gathers never serialize element-wise
+  (see :mod:`repro.diy.transport`);
+* segment names released by receivers piggyback on subsequent messages
+  back to the owning rank, whose pool recycles them;
+* workers are **forked**, so the worker function, its closures, and every
+  argument are inherited by reference — only *results* (and exceptions)
+  cross back to the parent, over per-rank result pipes.
+
+Failure semantics mirror the thread backend: the first raising rank aborts
+the region (a shared event plus a broken barrier wake the peers) and the
+parent re-raises a :class:`~repro.diy.comm.ParallelError` naming that rank.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sys
+import threading
+import time
+import traceback
+from collections import defaultdict
+from multiprocessing import connection, get_context
+from typing import Any, Callable
+
+from . import transport
+from .comm import (
+    _DEFAULT_TIMEOUT,
+    _AbortedError,
+    _Mailbox,
+    Communicator,
+    ParallelError,
+)
+
+__all__ = ["run_parallel_processes"]
+
+_POLL_S = 0.05  # receiver-thread poll interval (also the abort latency)
+
+
+class _ProcessWorld:
+    """Child-side world: the Communicator transport for one rank process."""
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        conns: dict[int, connection.Connection],
+        barrier,
+        abort_mp,
+        timeout: float,
+    ) -> None:
+        self.rank = rank
+        self.size = size
+        self.timeout = timeout
+        self.abort = threading.Event()  # local mirror of the shared flag
+        self._abort_mp = abort_mp
+        self._barrier_mp = barrier
+        self._conns = conns
+        self._send_locks = {peer: threading.Lock() for peer in conns}
+        self._user_mb = _Mailbox()
+        self._coll_mb = _Mailbox()
+        self.pool = transport.ShmPool()
+        self._attached: dict[str, Any] = {}  # peer segment name -> mapping
+        self._leases: list[tuple[int, transport.SegmentLease]] = []
+        self._pending_release: dict[int, list[str]] = defaultdict(list)
+        self._release_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._recv_thread = threading.Thread(
+            target=self._recv_loop, name=f"rank-{rank}-recv", daemon=True
+        )
+
+    def start(self) -> None:
+        self._recv_thread.start()
+
+    # -- Communicator transport interface ------------------------------
+    def deliver(
+        self, dest: int, source: int, tag: int, payload: Any, coll: bool = False
+    ) -> int:
+        """Ship ``payload`` to ``dest``; returns bytes moved via shm."""
+        if dest == self.rank:
+            self.inbox(dest, coll).put(source, tag, payload)
+            return 0
+        meta, descriptors, shm_bytes = transport.encode_payload(payload, self.pool)
+        with self._release_lock:
+            releases = self._pending_release.pop(dest, [])
+        wire = pickle.dumps(
+            (releases, source, tag, coll, meta, descriptors), protocol=5
+        )
+        try:
+            with self._send_locks[dest]:
+                self._conns[dest].send_bytes(wire)
+        except (BrokenPipeError, OSError):
+            # A peer tore down mid-send: only expected when the region is
+            # aborting, in which case this rank is a secondary casualty.
+            if self.abort.is_set() or self._abort_mp.is_set():
+                raise _AbortedError(
+                    "parallel region aborted while sending"
+                ) from None
+            raise
+        return shm_bytes
+
+    def inbox(self, rank: int, coll: bool) -> _Mailbox:
+        assert rank == self.rank, "a rank process only reads its own mailbox"
+        return self._coll_mb if coll else self._user_mb
+
+    def barrier_wait(self) -> None:
+        if self.abort.is_set() or self._abort_mp.is_set():
+            raise _AbortedError("parallel region aborted at barrier")
+        try:
+            self._barrier_mp.wait(timeout=self.timeout)
+        except threading.BrokenBarrierError:
+            raise _AbortedError("barrier broken (a peer rank failed)") from None
+
+    # -- receiver machinery --------------------------------------------
+    def _attach(self, name: str):
+        shm = self._attached.get(name)
+        if shm is None:
+            shm = transport.attach_segment(name)
+            self._attached[name] = shm
+        return shm
+
+    def _recv_loop(self) -> None:
+        by_conn = {conn: peer for peer, conn in self._conns.items()}
+        while not self._stop.is_set():
+            if self._abort_mp.is_set() and not self.abort.is_set():
+                self._local_abort()
+            try:
+                ready = connection.wait(list(by_conn), timeout=_POLL_S)
+            except OSError:
+                break
+            for conn in ready:
+                try:
+                    wire = conn.recv_bytes()
+                except (EOFError, OSError):
+                    del by_conn[conn]
+                    continue
+                releases, source, tag, coll, meta, descriptors = pickle.loads(wire)
+                for name in releases:
+                    self.pool.recycle(name)
+                payload, lease = transport.decode_payload(
+                    meta, descriptors, self._attach
+                )
+                if lease is not None:
+                    self._leases.append((source, lease))
+                self.inbox(self.rank, coll).put(source, tag, payload)
+            self._reap_leases()
+
+    def _reap_leases(self) -> None:
+        """Queue idle segments for release back to their owning ranks."""
+        if not self._leases:
+            return
+        still: list[tuple[int, transport.SegmentLease]] = []
+        freed: dict[int, list[str]] = defaultdict(list)
+        for owner, lease in self._leases:
+            if lease.idle():
+                lease.release_views()
+                freed[owner].extend(lease.names)
+            else:
+                still.append((owner, lease))
+        self._leases = still
+        if freed:
+            with self._release_lock:
+                for owner, names in freed.items():
+                    self._pending_release[owner].extend(names)
+
+    def _local_abort(self) -> None:
+        self.abort.set()
+        for mb in (self._user_mb, self._coll_mb):
+            with mb.lock:
+                mb.ready.notify_all()
+
+    def shutdown(self) -> None:
+        self._stop.set()
+        self._recv_thread.join(timeout=5.0)
+        for _, lease in self._leases:
+            lease.release_views()
+        self._leases = []
+        for shm in self._attached.values():
+            transport.close_segment_quietly(shm)
+        self._attached = {}
+        self.pool.shutdown()
+        for conn in self._conns.values():
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+
+def _portable_exception(exc: BaseException) -> BaseException:
+    """The exception itself if it pickles cleanly, else a faithful stand-in."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        detail = "".join(traceback.format_exception(exc)).strip()
+        return RuntimeError(f"[{type(exc).__name__}] {exc}\n{detail}")
+
+
+def _child_main(
+    rank: int,
+    size: int,
+    func: Callable[..., Any],
+    args: tuple,
+    kwargs: dict,
+    conns: dict[int, connection.Connection],
+    extra_conns: list[connection.Connection],
+    barrier,
+    finish_barrier,
+    abort_mp,
+    timeout: float,
+    result_conn: connection.Connection,
+) -> None:
+    # Fork gave us every pipe end; keep only ours so peers see EOF promptly.
+    for conn in extra_conns:
+        try:
+            conn.close()
+        except OSError:
+            pass
+    world = _ProcessWorld(rank, size, conns, barrier, abort_mp, timeout)
+    world.start()
+    try:
+        result = func(Communicator(rank, world), *args, **kwargs)
+        status: tuple[str, Any] = ("ok", result)
+    except BaseException as exc:  # noqa: BLE001 - must propagate everything
+        abort_mp.set()
+        for b in (barrier, finish_barrier):
+            try:
+                b.abort()  # wake peers blocked at a barrier
+            except Exception:
+                pass
+        status = ("err", _portable_exception(exc))
+    if status[0] == "ok":
+        # Rendezvous before teardown: a peer may still be sending to this
+        # rank (buffered sends never fail in the thread backend, so they
+        # must not fail here either).  This is a *separate* barrier object
+        # from the user-visible one — mixing the two would let a finished
+        # rank's arrival complete a peer's in-progress user barrier cycle.
+        # A broken barrier means some rank already failed — proceed; the
+        # primary error wins at the parent.
+        try:
+            finish_barrier.wait(timeout=timeout)
+        except threading.BrokenBarrierError:
+            pass
+    try:
+        result_conn.send_bytes(pickle.dumps(status, protocol=5))
+    except Exception as exc:  # result not picklable: report, don't hang
+        fallback = ("err", _portable_exception(exc))
+        try:
+            result_conn.send_bytes(pickle.dumps(fallback, protocol=5))
+        except Exception:
+            pass
+    # Drop the last local references to result payloads before teardown so
+    # shm-backed arrays die and their mappings close cleanly.
+    del status
+    result = None  # noqa: F841 - release, the parent owns the pickled copy
+    world.shutdown()
+    try:
+        result_conn.close()
+    except OSError:
+        pass
+
+
+def run_parallel_processes(
+    nranks: int,
+    func: Callable[..., Any],
+    args: tuple,
+    kwargs: dict,
+    recv_timeout: float | None = None,
+) -> list[Any]:
+    """Run ``func(comm, ...)`` on ``nranks`` forked processes (rank order).
+
+    See :func:`repro.diy.comm.run_parallel`; this is its ``"process"``
+    backend.  Requires a POSIX ``fork`` (the worker function and arguments
+    are inherited, not pickled; results must pickle).
+    """
+    if not hasattr(os, "fork"):
+        raise RuntimeError(
+            "backend='process' requires POSIX fork; use backend='thread'"
+        )
+    timeout = _DEFAULT_TIMEOUT if recv_timeout is None else float(recv_timeout)
+    ctx = get_context("fork")
+
+    pair_pipes = {
+        (i, j): ctx.Pipe(duplex=True)
+        for i in range(nranks)
+        for j in range(i + 1, nranks)
+    }
+    result_pipes = [ctx.Pipe(duplex=False) for _ in range(nranks)]
+    abort_mp = ctx.Event()
+    barrier = ctx.Barrier(nranks)
+    finish_barrier = ctx.Barrier(nranks)
+
+    all_data_conns = [c for pair in pair_pipes.values() for c in pair]
+    procs = []
+    for rank in range(nranks):
+        conns: dict[int, connection.Connection] = {}
+        for (i, j), (ci, cj) in pair_pipes.items():
+            if i == rank:
+                conns[j] = ci
+            elif j == rank:
+                conns[i] = cj
+        mine = set(map(id, conns.values())) | {id(result_pipes[rank][1])}
+        extra = [c for c in all_data_conns if id(c) not in mine]
+        extra += [w for r, (_, w) in enumerate(result_pipes) if r != rank]
+        extra += [r_conn for r_conn, _ in result_pipes]
+        proc = ctx.Process(
+            target=_child_main,
+            args=(
+                rank,
+                nranks,
+                func,
+                args,
+                kwargs,
+                conns,
+                extra,
+                barrier,
+                finish_barrier,
+                abort_mp,
+                timeout,
+                result_pipes[rank][1],
+            ),
+            name=f"rank-{rank}",
+            daemon=True,
+        )
+        proc.start()
+        procs.append(proc)
+
+    # The parent needs only the result read-ends.
+    for conn in all_data_conns:
+        conn.close()
+    for _, write_end in result_pipes:
+        write_end.close()
+
+    results: list[Any] = [None] * nranks
+    errors: list[ParallelError] = []
+    pending = {result_pipes[rank][0]: rank for rank in range(nranks)}
+    deadline = time.monotonic() + timeout + 30.0
+    while pending:
+        ready = connection.wait(list(pending), timeout=0.2)
+        if not ready:
+            if time.monotonic() > deadline:
+                abort_mp.set()
+                for conn, rank in pending.items():
+                    errors.append(
+                        ParallelError(
+                            rank,
+                            TimeoutError(
+                                f"rank {rank} produced no result within "
+                                f"{timeout}s — likely deadlock"
+                            ),
+                        )
+                    )
+                break
+            continue
+        for conn in ready:
+            rank = pending.pop(conn)
+            try:
+                kind, payload = pickle.loads(conn.recv_bytes())
+            except (EOFError, OSError):
+                abort_mp.set()
+                errors.append(
+                    ParallelError(
+                        rank, RuntimeError("rank process died without a result")
+                    )
+                )
+                continue
+            if kind == "ok":
+                results[rank] = payload
+            else:
+                abort_mp.set()
+                errors.append(ParallelError(rank, payload))
+
+    for proc in procs:
+        proc.join(timeout=10.0)
+    for proc in procs:
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=5.0)
+    for read_end, _ in result_pipes:
+        try:
+            read_end.close()
+        except OSError:
+            pass
+
+    if errors:
+        # Prefer the originating failure over secondary teardown errors.
+        errors.sort(key=lambda e: (isinstance(e.original, _AbortedError), e.rank))
+        raise errors[0]
+    return results

@@ -163,11 +163,27 @@ class FlatVoronoi:
             self.areas = np.zeros(n)
 
         # ---- completeness -------------------------------------------------
-        bounded = np.ones(n, dtype=bool)
-        for p, region_idx in enumerate(vor.point_region[:n]):
-            region = vor.regions[region_idx]
-            if not region or -1 in region:
-                bounded[p] = False
+        # A site is bounded iff its region is nonempty and has no -1 vertex.
+        # Build region lengths and -1 membership once with array ops instead
+        # of a per-site Python loop over vor.regions.
+        regions = vor.regions
+        region_lengths = np.fromiter(
+            (len(r) for r in regions), dtype=np.int64, count=len(regions)
+        )
+        region_flat = np.fromiter(
+            (v for r in regions for v in r),
+            dtype=np.int64,
+            count=int(region_lengths.sum()),
+        )
+        region_of = np.repeat(np.arange(len(regions)), region_lengths)
+        region_has_inf = (
+            np.bincount(
+                region_of, weights=region_flat < 0, minlength=len(regions)
+            )
+            > 0
+        )
+        region_bad = (region_lengths == 0) | region_has_inf
+        bounded = ~region_bad[np.asarray(vor.point_region[:n], dtype=np.int64)]
         bounded[synthetic_touch] = False  # cells facing the Qz point
         # A ridge with a vertex outside the box taints both its cells.
         lo, hi = box.as_arrays()

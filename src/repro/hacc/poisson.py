@@ -11,28 +11,46 @@ are the spectral gradient ``-i k phat(k)`` transformed back to real space,
 one FFT per component.  An optional CIC deconvolution sharpens the force at
 the mesh scale by dividing out the assignment window twice (deposit +
 gather).
+
+The spectral kernels (wavenumber grids and the CIC window) depend only on
+the mesh size, so they are memoized per ``ng`` — the force solver calls
+here every step of a run, and rebuilding them dominated small-mesh solves.
+Cached arrays are marked read-only; treat them as immutable.
 """
 
 from __future__ import annotations
+
+import functools
 
 import numpy as np
 
 __all__ = ["gravitational_potential", "accelerations_from_delta"]
 
 
+@functools.lru_cache(maxsize=8)
 def _k_grids(ng: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Angular wavenumbers (grid units, spacing 1) for an rfftn layout."""
+    """Angular wavenumbers (grid units, spacing 1) for an rfftn layout.
+
+    Memoized per mesh size; the returned arrays are shared and read-only.
+    """
     k = 2.0 * np.pi * np.fft.fftfreq(ng)
     kz = 2.0 * np.pi * np.fft.rfftfreq(ng)
-    return (
-        k[:, None, None],
-        k[None, :, None],
-        kz[None, None, :],
+    grids = (
+        k[:, None, None].copy(),
+        k[None, :, None].copy(),
+        kz[None, None, :].copy(),
     )
+    for g in grids:
+        g.setflags(write=False)
+    return grids
 
 
+@functools.lru_cache(maxsize=8)
 def _cic_window_sq(ng: int) -> np.ndarray:
-    """Squared CIC assignment window W^2(k) on the rfftn grid."""
+    """Squared CIC assignment window W^2(k) on the rfftn grid.
+
+    Memoized per mesh size; the returned array is shared and read-only.
+    """
 
     def w1d(k: np.ndarray) -> np.ndarray:
         x = k / 2.0
@@ -46,7 +64,9 @@ def _cic_window_sq(ng: int) -> np.ndarray:
     wx = w1d(k)[:, None, None]
     wy = w1d(k)[None, :, None]
     wz = w1d(kz)[None, None, :]
-    return (wx * wy * wz) ** 2
+    out = (wx * wy * wz) ** 2
+    out.setflags(write=False)
+    return out
 
 
 def gravitational_potential(

@@ -251,12 +251,15 @@ def run_simulation(
     config: SimulationConfig,
     nranks: int = 1,
     hooks: dict[int, list[Hook]] | list[Hook] | None = None,
+    backend: str = "thread",
 ) -> ParticleSet:
     """Run a complete simulation and return the final global particles.
 
     Serial (``nranks=1``) runs inline; parallel runs launch the SPMD region
     internally and concatenate the per-rank survivors (positions in grid
-    units, as in :class:`HACCSimulation`).
+    units, as in :class:`HACCSimulation`).  ``backend`` selects the SPMD
+    substrate (``"thread"`` or ``"process"``); see
+    :func:`repro.diy.comm.run_parallel`.
     """
 
     def worker(comm: Communicator) -> ParticleSet:
@@ -264,5 +267,5 @@ def run_simulation(
         sim.run(hooks=hooks)
         return sim.local
 
-    parts = run_parallel(nranks, worker)
+    parts = run_parallel(nranks, worker, backend=backend)
     return ParticleSet.concatenate(parts)

@@ -157,6 +157,7 @@ def run_simulation_with_tools(
     sim_config: SimulationConfig,
     framework_config: FrameworkConfig | dict,
     nranks: int = 1,
+    backend: str = "thread",
 ) -> InsituResults:
     """Convenience driver: simulate with tools attached; return results.
 
@@ -164,6 +165,12 @@ def run_simulation_with_tools(
     outputs), so the rank-0 result store is returned, wrapped in an
     :class:`InsituResults` that also reports the max-over-ranks simulation
     stepping time.
+
+    ``backend`` selects the SPMD substrate — ``"thread"`` (default) or
+    ``"process"`` (one OS process per rank; true hardware parallelism for
+    compute-bound in situ analysis) — see
+    :func:`repro.diy.comm.run_parallel`.  Tool results are identical
+    between the two.
     """
     if isinstance(framework_config, dict):
         framework_config = FrameworkConfig.from_dict(framework_config)
@@ -173,6 +180,6 @@ def run_simulation_with_tools(
         fw.run(sim_config, comm=comm if comm.size > 1 else None)
         return fw.results, fw.simulation_seconds
 
-    results = run_parallel(nranks, worker)
+    results = run_parallel(nranks, worker, backend=backend)
     sim_seconds = max(seconds for _, seconds in results)
     return InsituResults(results[0][0], sim_seconds)

@@ -1,0 +1,132 @@
+"""Backend-parity suite: thread and process execution must agree exactly.
+
+The point of the process backend is that it carries the existing
+Communicator contract on a different transport — so the tessellation, the
+parallel writer, and the in situ driver must produce *bit-identical*
+results under ``backend="thread"`` and ``backend="process"`` at every rank
+count.  These tests pin that contract, plus CommStats sanity (nonzero
+traffic, matching collective call counts across backends).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.tessellate import tessellate
+from repro.diy.bounds import Bounds
+from repro.diy.comm import run_parallel
+from repro.hacc import SimulationConfig
+from repro.insitu import run_simulation_with_tools
+
+RANK_COUNTS = (1, 2, 4, 8)
+
+
+def _cloud(n=400, box=10.0, seed=11):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.0, box, size=(n, 3)), Bounds.cube(box)
+
+
+class TestTessellationParity:
+    @pytest.mark.parametrize("nblocks", RANK_COUNTS)
+    def test_bit_identical_cells(self, nblocks):
+        points, domain = _cloud()
+        thread = tessellate(points, domain, nblocks=nblocks, exec_backend="thread")
+        process = tessellate(points, domain, nblocks=nblocks, exec_backend="process")
+        assert thread.num_cells == process.num_cells
+        assert [b.gid for b in thread.blocks] == [b.gid for b in process.blocks]
+        np.testing.assert_array_equal(thread.site_ids(), process.site_ids())
+        np.testing.assert_array_equal(thread.volumes(), process.volumes())
+        np.testing.assert_array_equal(thread.areas(), process.areas())
+        for tb, pb in zip(thread.blocks, process.blocks):
+            np.testing.assert_array_equal(tb.vertices, pb.vertices)
+            np.testing.assert_array_equal(tb.face_vertices, pb.face_vertices)
+            np.testing.assert_array_equal(tb.face_neighbors, pb.face_neighbors)
+
+    def test_multi_block_per_rank_parity(self):
+        points, domain = _cloud(n=300, seed=4)
+        thread = tessellate(
+            points, domain, nblocks=8, nranks=2, exec_backend="thread"
+        )
+        process = tessellate(
+            points, domain, nblocks=8, nranks=2, exec_backend="process"
+        )
+        np.testing.assert_array_equal(thread.site_ids(), process.site_ids())
+        np.testing.assert_array_equal(thread.volumes(), process.volumes())
+
+    def test_output_files_identical(self, tmp_path):
+        points, domain = _cloud(n=250, seed=7)
+        paths = {}
+        for backend in ("thread", "process"):
+            paths[backend] = str(tmp_path / f"{backend}.tess")
+            tessellate(
+                points,
+                domain,
+                nblocks=4,
+                exec_backend=backend,
+                output_path=paths[backend],
+            )
+        with open(paths["thread"], "rb") as f:
+            thread_bytes = f.read()
+        with open(paths["process"], "rb") as f:
+            process_bytes = f.read()
+        assert thread_bytes == process_bytes
+
+    def test_process_backend_moves_bytes_through_shared_memory(self, monkeypatch):
+        # Lower the inline threshold so the ghost payload buffers take the
+        # shared-memory path (forked ranks inherit the patched module).
+        from repro.diy import transport
+
+        monkeypatch.setattr(transport, "SHM_THRESHOLD", 1024)
+        points, domain = _cloud(n=1500, seed=2)
+        tess = tessellate(points, domain, nblocks=4, exec_backend="process")
+        assert tess.timings.shm_bytes_sent > 0
+        assert tess.timings.shm_msgs_sent > 0
+        # The same run on threads never touches shared memory.
+        tess_t = tessellate(points, domain, nblocks=4, exec_backend="thread")
+        assert tess_t.timings.shm_bytes_sent == 0
+        np.testing.assert_array_equal(tess.volumes(), tess_t.volumes())
+
+
+class TestInsituParity:
+    @pytest.mark.parametrize("nranks", (1, 2, 4))
+    def test_simulation_with_tools_identical(self, nranks):
+        cfg = SimulationConfig(np_side=8, nsteps=3, seed=2)
+        spec = {
+            "tools": [
+                {"tool": "tessellation", "params": {"ghost": 3.5}, "steps": [3]},
+                {"tool": "statistics", "steps": [3]},
+            ]
+        }
+        thread = run_simulation_with_tools(cfg, spec, nranks=nranks)
+        process = run_simulation_with_tools(
+            cfg, spec, nranks=nranks, backend="process"
+        )
+        t_tess = thread["tessellation"][3]
+        p_tess = process["tessellation"][3]
+        assert t_tess.num_cells == p_tess.num_cells
+        np.testing.assert_array_equal(t_tess.site_ids(), p_tess.site_ids())
+        np.testing.assert_array_equal(t_tess.volumes(), p_tess.volumes())
+        t_hist = thread["statistics"][3]
+        p_hist = process["statistics"][3]
+        np.testing.assert_array_equal(t_hist.counts, p_hist.counts)
+        assert process.simulation_seconds > 0
+
+
+class TestCommStatsParity:
+    def test_counters_nonzero_and_collectives_match(self):
+        def worker(comm):
+            comm.bcast(np.arange(1000) if comm.rank == 0 else None)
+            comm.allreduce(float(comm.rank))
+            comm.gather(np.full(30_000, comm.rank, dtype=np.float64))
+            comm.barrier()
+            return comm.stats.as_dict()
+
+        thread = run_parallel(4, worker, backend="thread")
+        process = run_parallel(4, worker, backend="process")
+        for t, p in zip(thread, process):
+            assert t["bytes_sent"] > 0 and p["bytes_sent"] > 0
+            assert t["collective_calls"] == p["collective_calls"]
+            assert t["msgs_sent"] == p["msgs_sent"]
+            assert t["bytes_sent"] == p["bytes_sent"]
+            assert t["shm_bytes_sent"] == 0
+        # The 240 KB gather payloads must have ridden shared memory.
+        assert any(p["shm_bytes_sent"] > 0 for p in process)

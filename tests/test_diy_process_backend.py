@@ -1,0 +1,300 @@
+"""Tests for the process SPMD backend and its zero-copy transport.
+
+Covers the transport layer in isolation (protocol-5 encode/decode, the
+pooled shared-memory allocator, lease-based recycling) and the forked
+backend end to end: collectives matching the thread backend, shared-memory
+movement of large arrays, failure propagation, and deadlock timeouts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.diy import transport
+from repro.diy.comm import ParallelError, run_parallel
+
+
+# ----------------------------------------------------------------------
+# transport layer (no processes involved)
+# ----------------------------------------------------------------------
+class TestEncodeDecode:
+    def _roundtrip(self, obj, pool, threshold=None):
+        meta, descriptors, shm_bytes = transport.encode_payload(
+            obj, pool, threshold=threshold
+        )
+        attached = {}
+
+        def attach(name):
+            if name not in attached:
+                attached[name] = transport.attach_segment(name)
+            return attached[name]
+
+        out, lease = transport.decode_payload(meta, descriptors, attach)
+        return out, lease, shm_bytes, attached
+
+    def test_small_array_stays_inline(self):
+        pool = transport.ShmPool()
+        arr = np.arange(16, dtype=np.float64)
+        out, lease, shm_bytes, attached = self._roundtrip(arr, pool)
+        assert lease is None and shm_bytes == 0 and not attached
+        np.testing.assert_array_equal(out, arr)
+        assert pool.created == 0
+        pool.shutdown()
+
+    def test_large_array_rides_shared_memory(self):
+        pool = transport.ShmPool()
+        arr = np.arange(100_000, dtype=np.float64)
+        out, lease, shm_bytes, attached = self._roundtrip(arr, pool)
+        assert shm_bytes == arr.nbytes
+        assert lease is not None and len(lease.names) == 1
+        assert pool.created == 1
+        np.testing.assert_array_equal(out, arr)
+        del out
+        assert lease.idle()
+        lease.release_views()
+        for shm in attached.values():
+            transport.close_segment_quietly(shm)
+        pool.shutdown()
+
+    def test_lease_not_idle_while_array_alive(self):
+        pool = transport.ShmPool()
+        arr = np.ones(50_000)
+        out, lease, _, attached = self._roundtrip(arr, pool)
+        assert not lease.idle()
+        del out
+        assert lease.idle()
+        lease.release_views()
+        for shm in attached.values():
+            transport.close_segment_quietly(shm)
+        pool.shutdown()
+
+    def test_nested_container_with_mixed_buffers(self):
+        pool = transport.ShmPool()
+        payload = {
+            "big": np.arange(60_000, dtype=np.int64),
+            "small": np.float32([1.5, 2.5]),
+            "meta": ("text", 7, None),
+        }
+        out, lease, shm_bytes, attached = self._roundtrip(payload, pool)
+        assert shm_bytes == payload["big"].nbytes
+        np.testing.assert_array_equal(out["big"], payload["big"])
+        np.testing.assert_array_equal(out["small"], payload["small"])
+        assert out["meta"] == ("text", 7, None)
+        del out
+        lease.release_views()
+        for shm in attached.values():
+            transport.close_segment_quietly(shm)
+        pool.shutdown()
+
+    def test_fortran_order_array_roundtrips(self):
+        pool = transport.ShmPool()
+        arr = np.asfortranarray(np.arange(30_000, dtype=np.float64).reshape(150, 200))
+        out, lease, _, attached = self._roundtrip(arr, pool)
+        np.testing.assert_array_equal(out, arr)
+        del out
+        if lease is not None:
+            lease.release_views()
+        for shm in attached.values():
+            transport.close_segment_quietly(shm)
+        pool.shutdown()
+
+    def test_threshold_override(self):
+        pool = transport.ShmPool()
+        arr = np.arange(64, dtype=np.float64)  # 512 bytes
+        _, _, shm_bytes, _ = self._roundtrip(arr, pool, threshold=256)
+        assert shm_bytes == arr.nbytes
+        pool.shutdown()
+
+
+class TestShmPool:
+    def test_size_classes_are_powers_of_two(self):
+        assert transport.ShmPool._size_class(1) == transport._MIN_SEGMENT
+        assert transport.ShmPool._size_class(transport._MIN_SEGMENT) == (
+            transport._MIN_SEGMENT
+        )
+        assert transport.ShmPool._size_class(transport._MIN_SEGMENT + 1) == (
+            transport._MIN_SEGMENT * 2
+        )
+
+    def test_recycle_reuses_segment(self):
+        pool = transport.ShmPool()
+        seg = pool.acquire(1000)
+        name = seg.name
+        pool.recycle(name)
+        seg2 = pool.acquire(1000)
+        assert seg2.name == name
+        assert pool.created == 1 and pool.recycled == 1
+        pool.shutdown()
+
+    def test_shutdown_idempotent(self):
+        pool = transport.ShmPool()
+        pool.acquire(100)
+        pool.shutdown()
+        pool.shutdown()
+
+
+# ----------------------------------------------------------------------
+# forked backend, end to end
+# ----------------------------------------------------------------------
+def _collective_workout(comm):
+    """One of everything; returns a comparable per-rank summary."""
+    rank, size = comm.rank, comm.size
+    big = np.arange(20_000, dtype=np.float64) + rank  # > SHM_THRESHOLD
+    out = {
+        "bcast": comm.bcast({"root": 0, "arr": big} if rank == 0 else None),
+        "gathered": comm.gather(rank * 2, root=0),
+        "scattered": comm.scatter(
+            [f"item{i}" for i in range(size)] if rank == 0 else None
+        ),
+        "reduced": comm.reduce(rank + 1, root=0),
+        "allreduced": comm.allreduce(float(big.sum())),
+        "allgathered": comm.allgather(rank),
+        "exscan": comm.exscan(rank + 1),
+        "alltoall": comm.alltoall([(rank, d) for d in range(size)]),
+        "sparse": sorted(
+            comm.sparse_alltoall({(rank + 1) % size: np.full(5000, rank)})
+        ),
+    }
+    comm.barrier()
+    out["bcast_sum"] = float(out["bcast"]["arr"].sum())
+    del out["bcast"]
+    out["stats"] = comm.stats.as_dict()
+    return out
+
+
+def _strip_timing(stats):
+    return {
+        k: v
+        for k, v in stats.items()
+        if k
+        not in ("recv_wait_s", "barrier_wait_s", "shm_msgs_sent", "shm_bytes_sent")
+    }
+
+
+class TestProcessCollectives:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 8])
+    def test_matches_thread_backend(self, n):
+        thread = run_parallel(n, _collective_workout, backend="thread")
+        process = run_parallel(n, _collective_workout, backend="process")
+        for t, p in zip(thread, process):
+            t_stats, p_stats = t.pop("stats"), p.pop("stats")
+            assert t == p
+            # Identical traffic pattern: same message/byte counters and the
+            # same per-collective call counts on both transports.
+            assert _strip_timing(t_stats) == _strip_timing(p_stats)
+
+    def test_noncommutative_op_rank_order(self):
+        def worker(comm):
+            return comm.allreduce(f"<{comm.rank}>", op=lambda a, b: a + b)
+
+        (r0, *rest) = run_parallel(4, worker, backend="process")
+        assert r0 == "<0><1><2><3>"
+        assert all(r == r0 for r in rest)
+
+    def test_large_payloads_use_shared_memory(self):
+        def worker(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(100_000), dest=1, tag=3)
+            elif comm.rank == 1:
+                arr = comm.recv(source=0, tag=3)
+                assert arr.shape == (100_000,)
+            comm.barrier()
+            return comm.stats.shm_msgs_sent, comm.stats.shm_bytes_sent
+
+        results = run_parallel(2, worker, backend="process")
+        assert results[0][0] >= 1
+        assert results[0][1] >= 800_000
+
+    def test_thread_backend_never_uses_shared_memory(self):
+        def worker(comm):
+            comm.allreduce(np.zeros(100_000))
+            return comm.stats.shm_msgs_sent
+
+        assert run_parallel(2, worker, backend="thread") == [0, 0]
+
+    def test_segment_recycling_bounds_pool_growth(self):
+        rounds = 10
+
+        def worker(comm):
+            import time
+
+            peer = 1 - comm.rank
+            for i in range(rounds):
+                if comm.rank == 0:
+                    comm.send(np.full(50_000, i, dtype=np.float64), peer, tag=i)
+                    reply = comm.recv(source=peer, tag=i)
+                    assert reply[0] == -i
+                else:
+                    got = comm.recv(source=peer, tag=i)
+                    assert got[0] == i
+                    del got  # drop the shm view so the lease goes idle
+                    comm.send(np.full(50_000, -i, dtype=np.float64), peer, tag=i)
+                time.sleep(0.06)  # let the receiver thread reap idle leases
+            comm.barrier()
+            return comm._world.pool.created
+
+        created = run_parallel(2, worker, backend="process")
+        # Without recycling each rank would create `rounds` segments.
+        assert all(c < rounds for c in created)
+
+
+class TestProcessFailures:
+    def test_exception_propagates_with_rank(self):
+        def worker(comm):
+            if comm.rank == 2:
+                raise ValueError("boom in child")
+            comm.barrier()
+
+        with pytest.raises(ParallelError) as exc:
+            run_parallel(4, worker, backend="process")
+        assert exc.value.rank == 2
+        assert "boom in child" in str(exc.value)
+
+    def test_exception_unblocks_pending_recv(self):
+        def worker(comm):
+            if comm.rank == 0:
+                raise RuntimeError("early death")
+            comm.recv(source=0, tag=9)  # never sent
+
+        with pytest.raises(ParallelError) as exc:
+            run_parallel(2, worker, backend="process")
+        assert exc.value.rank == 0
+
+    def test_deadlock_times_out(self):
+        def worker(comm):
+            if comm.rank == 0:
+                comm.recv(source=1, tag=42)  # rank 1 never sends
+
+        with pytest.raises(ParallelError):
+            run_parallel(2, worker, backend="process", recv_timeout=1.5)
+
+    def test_unpicklable_result_reported_not_hung(self):
+        def worker(comm):
+            return lambda: None  # cannot cross the result pipe
+
+        with pytest.raises(ParallelError):
+            run_parallel(2, worker, backend="process")
+
+
+class TestBackendSelection:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            run_parallel(2, lambda comm: None, backend="mpi")
+
+    def test_process_single_rank_runs_inline(self):
+        import os
+
+        pid = os.getpid()
+        results = run_parallel(
+            1, lambda comm: (os.getpid(), comm.size), backend="process"
+        )
+        assert results == [(pid, 1)]
+
+    def test_process_ranks_are_distinct_processes(self):
+        import os
+
+        def worker(comm):
+            return os.getpid()
+
+        pids = run_parallel(3, worker, backend="process")
+        assert len(set(pids)) == 3
+        assert os.getpid() not in pids
