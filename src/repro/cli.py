@@ -121,6 +121,20 @@ def _build_sim_parser() -> argparse.ArgumentParser:
                    default="thread", dest="exec_backend",
                    help="SPMD execution backend: thread (default; GIL-bound) "
                         "or process (one OS process per rank)")
+    p.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                   help="write a crash-consistent checkpoint every N steps "
+                        "(0 disables checkpointing)")
+    p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                   help="checkpoint directory (default: <deck>.ckpts)")
+    p.add_argument("--resume", action="store_true",
+                   help="restart from the newest valid checkpoint in the "
+                        "checkpoint directory, skipping completed analysis")
+    p.add_argument("--fault-kill", default=None, metavar="RANK:STEP",
+                   help="fault injection: kill RANK when it enters STEP "
+                        "(process exit under --exec-backend process, raised "
+                        "exception under thread)")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed for the fault-injection RNG")
     return p
 
 
@@ -146,13 +160,50 @@ def sim_main(argv: list[str] | None = None) -> int:
         return 2
     cfg = SimulationConfig(**sim_spec)
 
+    ckpt_dir = args.checkpoint_dir
+    if ckpt_dir is None and (args.checkpoint_every > 0 or args.resume):
+        ckpt_dir = args.deck + ".ckpts"
+
+    if args.fault_kill is not None:
+        from . import faults
+
+        try:
+            rank_s, step_s = args.fault_kill.split(":")
+            kill_rank, kill_step = int(rank_s), int(step_s)
+        except ValueError:
+            print("error: --fault-kill expects RANK:STEP", file=sys.stderr)
+            return 2
+        faults.install(faults.FaultSpec(
+            seed=args.fault_seed,
+            kill_rank=kill_rank,
+            kill_step=kill_step,
+            kill_mode="exit" if args.exec_backend == "process" else "raise",
+        ))
+
     print(
         f"simulating {cfg.np_side}^3 particles, {cfg.nsteps} steps, "
         f"{args.ranks} rank(s)..."
     )
-    results = run_simulation_with_tools(
-        cfg, tools_spec, nranks=args.ranks, backend=args.exec_backend
-    )
+    try:
+        results = run_simulation_with_tools(
+            cfg, tools_spec, nranks=args.ranks, backend=args.exec_backend,
+            checkpoint_dir=ckpt_dir,
+            checkpoint_every=args.checkpoint_every,
+            resume=args.resume,
+        )
+    except Exception as exc:  # noqa: BLE001 - report the crash, exit nonzero
+        print(f"error: simulation failed: {exc}", file=sys.stderr)
+        if ckpt_dir is not None:
+            print(f"rerun with --resume to restart from {ckpt_dir}",
+                  file=sys.stderr)
+        return 1
+    finally:
+        if args.fault_kill is not None:
+            from . import faults
+
+            faults.clear()
+    if results.resumed_step >= 0:
+        print(f"resumed from checkpoint at step {results.resumed_step}")
     for tool, per_step in results.items():
         for step, result in sorted(per_step.items()):
             print(f"[{tool} @ step {step}] {_describe(result)}")

@@ -277,6 +277,8 @@ def _timings_with_comm(timer: PhaseTimer, comm: Communicator, stats0) -> TessTim
     timings.bytes_recv = delta.bytes_recv
     timings.shm_msgs_sent = delta.shm_msgs_sent
     timings.shm_bytes_sent = delta.shm_bytes_sent
+    timings.msgs_dropped = delta.msgs_dropped
+    timings.msgs_delayed = delta.msgs_delayed
     return timings
 
 

@@ -63,6 +63,8 @@ from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
+from .. import faults
+
 __all__ = [
     "Communicator",
     "CommStats",
@@ -135,6 +137,9 @@ class CommStats:
     shm_msgs_sent: int = 0
     #: payload bytes moved through shared-memory segments
     shm_bytes_sent: int = 0
+    #: user p2p messages dropped / delayed by fault injection (repro.faults)
+    msgs_dropped: int = 0
+    msgs_delayed: int = 0
     #: collective name -> number of invocations (e.g. {"bcast": 3})
     collective_calls: dict[str, int] = field(default_factory=dict)
 
@@ -154,6 +159,8 @@ class CommStats:
             barrier_wait_s=self.barrier_wait_s,
             shm_msgs_sent=self.shm_msgs_sent,
             shm_bytes_sent=self.shm_bytes_sent,
+            msgs_dropped=self.msgs_dropped,
+            msgs_delayed=self.msgs_delayed,
             collective_calls=dict(self.collective_calls),
         )
 
@@ -173,6 +180,8 @@ class CommStats:
             barrier_wait_s=self.barrier_wait_s - baseline.barrier_wait_s,
             shm_msgs_sent=self.shm_msgs_sent - baseline.shm_msgs_sent,
             shm_bytes_sent=self.shm_bytes_sent - baseline.shm_bytes_sent,
+            msgs_dropped=self.msgs_dropped - baseline.msgs_dropped,
+            msgs_delayed=self.msgs_delayed - baseline.msgs_delayed,
             collective_calls=calls,
         )
 
@@ -187,6 +196,8 @@ class CommStats:
             "barrier_wait_s": self.barrier_wait_s,
             "shm_msgs_sent": self.shm_msgs_sent,
             "shm_bytes_sent": self.shm_bytes_sent,
+            "msgs_dropped": self.msgs_dropped,
+            "msgs_delayed": self.msgs_delayed,
             "collective_calls": dict(self.collective_calls),
         }
 
@@ -393,8 +404,21 @@ class Communicator:
     # point to point
     # ------------------------------------------------------------------
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
-        """Send ``obj`` to rank ``dest``.  Buffered; never blocks."""
+        """Send ``obj`` to rank ``dest``.  Buffered; never blocks.
+
+        When a fault injector is armed (:mod:`repro.faults`) the send may be
+        deterministically dropped or delayed; internal collective traffic is
+        never faulted."""
         self._check_rank(dest)
+        inj = faults.active()
+        if inj is not None:
+            action = inj.on_send(self._rank, dest, tag)
+            if action == "drop":
+                self.stats.msgs_dropped += 1
+                return
+            if action is not None:
+                self.stats.msgs_delayed += 1
+                time.sleep(float(action))
         self.stats.msgs_sent += 1
         self.stats.bytes_sent += _payload_nbytes(obj)
         shm = self._world.deliver(dest, self._rank, tag, obj, coll=False)

@@ -2,26 +2,44 @@
 
 All blocks of a decomposition are written into **one file**: a fixed header,
 then each block's serialized payload at an exclusive-scan byte offset, then a
-footer index of ``(gid, offset, size)`` records and a trailing pointer to the
-footer.  On real MPI this is ``MPI_File_write_at_all``; here each rank
+footer index of ``(gid, offset, size, crc32)`` records and a trailing pointer
+to the footer.  On real MPI this is ``MPI_File_write_at_all``; here each rank
 performs positioned writes (``os.pwrite``) on a private descriptor into the
 shared file, which keeps the exact offset arithmetic and collective
 structure of the original — and works identically whether ranks are threads
 or OS processes (``run_parallel(..., backend="process")``), since nothing
 but the communicator is shared between ranks.
 
+Crash consistency
+-----------------
+:func:`write_blocks` is **crash-consistent**: every rank writes into a
+deterministic temp path next to the destination, each rank ``fsync``\\ s its
+payload bytes, and only after all ranks have finished does rank 0 append the
+footer, ``fsync``, and atomically ``os.replace`` the temp file over the
+destination (followed by a directory fsync so the rename itself is durable).
+A crash at *any* point — a rank dying mid-payload, the footer half written,
+power loss before the rename — leaves the previous file at ``path`` intact;
+the orphaned ``path + ".tmp"`` is simply overwritten by the next write.
+
+Torn or truncated files are additionally *detectable*: the footer carries a
+CRC32 per block payload, the trailer carries a CRC32 of the footer itself
+plus an end-of-file magic, and :class:`BlockFileReader` validates all three,
+raising a precise :class:`CheckpointError` instead of handing back garbage.
+
 The payload format is caller-defined bytes; :func:`pack_arrays` /
 :func:`unpack_arrays` provide a safe (``allow_pickle=False``) container for
 named NumPy arrays used by the tessellation data model.
 
-File layout::
+File layout (version 2)::
 
     offset 0        magic  b"DIYB"  (4 bytes)
     4               version u32
     8               nblocks u64
     16              block payloads, tightly packed in gid order of write
-    footer_offset   nblocks x (gid u64, offset u64, size u64)
-    end-8           footer_offset u64
+    footer_offset   nblocks x (gid u64, offset u64, size u64, crc32 u32)
+    end-16          footer_offset u64, footer_crc32 u32, magic b"DIYE"
+
+Version-1 files (no checksums, 8-byte trailer) remain readable.
 """
 
 from __future__ import annotations
@@ -29,10 +47,12 @@ from __future__ import annotations
 import io
 import os
 import struct
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
 
+from .. import faults
 from .comm import Communicator
 
 __all__ = [
@@ -40,16 +60,26 @@ __all__ = [
     "unpack_arrays",
     "write_blocks",
     "BlockFileReader",
+    "CheckpointError",
     "HEADER_SIZE",
 ]
 
 _MAGIC = b"DIYB"
-_VERSION = 1
+_END_MAGIC = b"DIYE"
+_VERSION = 2
 _HEADER = struct.Struct("<4sIQ")
-_INDEX_ENTRY = struct.Struct("<QQQ")
-_TRAILER = struct.Struct("<Q")
+_INDEX_ENTRY = struct.Struct("<QQQI")
+_TRAILER = struct.Struct("<QI4s")
+# Version-1 layout (kept readable): no CRCs, bare footer-offset trailer.
+_INDEX_ENTRY_V1 = struct.Struct("<QQQ")
+_TRAILER_V1 = struct.Struct("<Q")
 
 HEADER_SIZE = _HEADER.size
+
+
+class CheckpointError(ValueError):
+    """A block file (or checkpoint built on one) is torn, truncated, or
+    otherwise inconsistent.  The message names the path and what failed."""
 
 
 # ----------------------------------------------------------------------
@@ -105,30 +135,49 @@ def write_blocks(
     scan of per-rank byte totals, each rank writes its payloads at its own
     offsets, and rank 0 writes the header, footer index, and trailer.
 
+    The write is crash-consistent (see module docs): all bytes go to
+    ``path + ".tmp"``, which rank 0 atomically renames over ``path`` only
+    after every rank has written and fsynced.  A crash mid-write never
+    clobbers an existing file at ``path``.
+
     Returns the total file size in bytes (valid on every rank).
     """
     path = os.fspath(path)
+    tmp = path + ".tmp"
     local_size = sum(len(b) for _, b in blocks)
     start = comm.exscan(local_size)
     offset = HEADER_SIZE + (0 if start is None else int(start))
 
-    # Rank 0 creates/truncates the file before anyone writes into it.
+    # Rank 0 creates/truncates the *temp* file before anyone writes into it;
+    # the destination stays untouched until the final atomic rename.
     if comm.rank == 0:
-        with open(path, "wb"):
+        with open(tmp, "wb"):
             pass
     comm.barrier()
 
-    index_entries: list[tuple[int, int, int]] = []
-    fd = os.open(path, os.O_WRONLY)
+    inj = faults.active()
+    tear = inj.torn_write(comm.rank) if inj is not None else None
+
+    index_entries: list[tuple[int, int, int, int]] = []
+    fd = os.open(tmp, os.O_WRONLY)
     try:
+        if tear is not None:
+            # Injected fault: write a partial first payload, make it durable
+            # (so the tear is really on disk), then crash this rank.
+            if blocks:
+                gid, payload = blocks[0]
+                os.pwrite(fd, payload[: int(len(payload) * tear)], offset)
+            os.fsync(fd)
+            inj.crash_write(comm.rank)  # raises or os._exit; never returns
         for gid, payload in blocks:
             written = os.pwrite(fd, payload, offset)
             if written != len(payload):
                 raise IOError(
                     f"short write for block {gid}: {written} of {len(payload)} bytes"
                 )
-            index_entries.append((gid, offset, len(payload)))
+            index_entries.append((gid, offset, len(payload), zlib.crc32(payload)))
             offset += len(payload)
+        os.fsync(fd)
     finally:
         os.close(fd)
 
@@ -146,21 +195,29 @@ def write_blocks(
             raise ValueError(
                 f"expected {nblocks} blocks in file, wrote {len(flat)}"
             )
-        gids = [g for g, _, _ in flat]
+        gids = [g for g, _, _, _ in flat]
         if gids != list(range(nblocks)):
             raise ValueError(f"block gids must be 0..{nblocks - 1}, got {gids}")
-        fd = os.open(path, os.O_WRONLY)
+        fd = os.open(tmp, os.O_WRONLY)
         try:
             os.pwrite(fd, _HEADER.pack(_MAGIC, _VERSION, nblocks), 0)
             footer = b"".join(_INDEX_ENTRY.pack(*e) for e in flat)
             os.pwrite(fd, footer, footer_offset)
             os.pwrite(
                 fd,
-                _TRAILER.pack(footer_offset),
+                _TRAILER.pack(footer_offset, zlib.crc32(footer), _END_MAGIC),
                 footer_offset + len(footer),
             )
+            os.fsync(fd)
         finally:
             os.close(fd)
+        # Publish: atomic rename, then make the rename itself durable.
+        os.replace(tmp, path)
+        dirfd = os.open(os.path.dirname(os.path.abspath(path)), os.O_RDONLY)
+        try:
+            os.fsync(dirfd)
+        finally:
+            os.close(dirfd)
 
     comm.barrier()
     return footer_offset + nblocks * _INDEX_ENTRY.size + _TRAILER.size
@@ -174,6 +231,7 @@ class _IndexEntry:
     gid: int
     offset: int
     size: int
+    crc: int | None  # None for version-1 files (no checksum recorded)
 
 
 class BlockFileReader:
@@ -182,33 +240,89 @@ class BlockFileReader:
     Safe for concurrent use from multiple rank-threads (positioned reads on
     a private descriptor).  Supports reading any subset of blocks, which is
     how the postprocessing plugin's parallel reader divides work.
+
+    The file structure is validated on open (magic, trailer end-marker,
+    footer bounds, footer CRC32) and each payload's CRC32 is validated on
+    :meth:`read_block`; torn or truncated files raise
+    :class:`CheckpointError` with the path and the failing field.
     """
 
     def __init__(self, path: str | os.PathLike):
         self.path = os.fspath(path)
         self._fd = os.open(self.path, os.O_RDONLY)
         try:
-            header = os.pread(self._fd, HEADER_SIZE, 0)
-            magic, version, nblocks = _HEADER.unpack(header)
-            if magic != _MAGIC:
-                raise ValueError(f"{self.path}: not a DIY block file (magic {magic!r})")
-            if version != _VERSION:
-                raise ValueError(f"{self.path}: unsupported version {version}")
-            self.nblocks = int(nblocks)
-
-            file_size = os.fstat(self._fd).st_size
-            trailer = os.pread(self._fd, _TRAILER.size, file_size - _TRAILER.size)
-            (footer_offset,) = _TRAILER.unpack(trailer)
-            footer = os.pread(
-                self._fd, self.nblocks * _INDEX_ENTRY.size, footer_offset
-            )
-            self._index = {}
-            for i in range(self.nblocks):
-                gid, off, size = _INDEX_ENTRY.unpack_from(footer, i * _INDEX_ENTRY.size)
-                self._index[int(gid)] = _IndexEntry(int(gid), int(off), int(size))
+            self._load_index()
         except Exception:
             os.close(self._fd)
             raise
+
+    def _load_index(self) -> None:
+        file_size = os.fstat(self._fd).st_size
+        if file_size < HEADER_SIZE + _TRAILER_V1.size:
+            raise CheckpointError(
+                f"{self.path}: truncated block file ({file_size} bytes, "
+                f"header alone is {HEADER_SIZE})"
+            )
+        header = os.pread(self._fd, HEADER_SIZE, 0)
+        magic, version, nblocks = _HEADER.unpack(header)
+        if magic != _MAGIC:
+            raise CheckpointError(
+                f"{self.path}: not a DIY block file (magic {magic!r})"
+            )
+        if version not in (1, _VERSION):
+            raise CheckpointError(f"{self.path}: unsupported version {version}")
+        self.version = int(version)
+        self.nblocks = int(nblocks)
+
+        entry_struct = _INDEX_ENTRY if self.version == 2 else _INDEX_ENTRY_V1
+        trailer_struct = _TRAILER if self.version == 2 else _TRAILER_V1
+        if file_size < HEADER_SIZE + trailer_struct.size:
+            raise CheckpointError(
+                f"{self.path}: truncated block file ({file_size} bytes)"
+            )
+        trailer = os.pread(
+            self._fd, trailer_struct.size, file_size - trailer_struct.size
+        )
+        if self.version == 2:
+            footer_offset, footer_crc, end_magic = trailer_struct.unpack(trailer)
+            if end_magic != _END_MAGIC:
+                raise CheckpointError(
+                    f"{self.path}: missing end-of-file marker (torn or "
+                    f"truncated write)"
+                )
+        else:
+            (footer_offset,) = trailer_struct.unpack(trailer)
+            footer_crc = None
+        footer_size = self.nblocks * entry_struct.size
+        expected_size = footer_offset + footer_size + trailer_struct.size
+        if footer_offset < HEADER_SIZE or expected_size != file_size:
+            raise CheckpointError(
+                f"{self.path}: footer index at {footer_offset} for "
+                f"{self.nblocks} blocks implies {expected_size} bytes, file "
+                f"has {file_size}"
+            )
+        footer = os.pread(self._fd, footer_size, footer_offset)
+        if len(footer) != footer_size:
+            raise CheckpointError(
+                f"{self.path}: short footer read ({len(footer)} of "
+                f"{footer_size} bytes)"
+            )
+        if footer_crc is not None and zlib.crc32(footer) != footer_crc:
+            raise CheckpointError(
+                f"{self.path}: footer CRC mismatch (torn or corrupted write)"
+            )
+        self._index: dict[int, _IndexEntry] = {}
+        for i in range(self.nblocks):
+            rec = entry_struct.unpack_from(footer, i * entry_struct.size)
+            gid, off, size = int(rec[0]), int(rec[1]), int(rec[2])
+            crc = int(rec[3]) if self.version == 2 else None
+            if off < HEADER_SIZE or off + size > footer_offset:
+                raise CheckpointError(
+                    f"{self.path}: block {gid} spans [{off}, {off + size}) "
+                    f"outside the payload region [{HEADER_SIZE}, "
+                    f"{footer_offset})"
+                )
+            self._index[gid] = _IndexEntry(gid, off, size, crc)
 
     def __enter__(self) -> "BlockFileReader":
         return self
@@ -222,15 +336,23 @@ class BlockFileReader:
             os.close(self._fd)
             self._fd = None  # type: ignore[assignment]
 
-    def read_block(self, gid: int) -> bytes:
-        """Raw payload bytes of block ``gid``."""
+    def read_block(self, gid: int, verify: bool = True) -> bytes:
+        """Raw payload bytes of block ``gid`` (CRC-checked unless ``verify``
+        is False or the file predates checksums)."""
         try:
             entry = self._index[gid]
         except KeyError:
             raise KeyError(f"block {gid} not in file (0..{self.nblocks - 1})") from None
         blob = os.pread(self._fd, entry.size, entry.offset)
         if len(blob) != entry.size:
-            raise IOError(f"short read for block {gid}")
+            raise CheckpointError(
+                f"{self.path}: short read for block {gid} ({len(blob)} of "
+                f"{entry.size} bytes)"
+            )
+        if verify and entry.crc is not None and zlib.crc32(blob) != entry.crc:
+            raise CheckpointError(
+                f"{self.path}: CRC mismatch for block {gid} (payload corrupted)"
+            )
         return blob
 
     def read_block_arrays(self, gid: int) -> dict[str, np.ndarray]:

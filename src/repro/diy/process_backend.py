@@ -47,9 +47,17 @@ from .comm import (
     ParallelError,
 )
 
-__all__ = ["run_parallel_processes"]
+__all__ = ["run_parallel_processes", "RankDiedError"]
 
 _POLL_S = 0.05  # receiver-thread poll interval (also the abort latency)
+_DETECT_POLL_S = 0.2  # parent's dead-child detection poll interval
+
+
+class RankDiedError(RuntimeError):
+    """A rank process exited (crash, kill, os._exit) without delivering a
+    result.  Raised to the caller wrapped in a
+    :class:`~repro.diy.comm.ParallelError` naming the rank, within
+    ~``_DETECT_POLL_S`` of the death rather than after the recv timeout."""
 
 
 class _ProcessWorld:
@@ -105,13 +113,14 @@ class _ProcessWorld:
             with self._send_locks[dest]:
                 self._conns[dest].send_bytes(wire)
         except (BrokenPipeError, OSError):
-            # A peer tore down mid-send: only expected when the region is
-            # aborting, in which case this rank is a secondary casualty.
-            if self.abort.is_set() or self._abort_mp.is_set():
-                raise _AbortedError(
-                    "parallel region aborted while sending"
-                ) from None
-            raise
+            # A broken data pipe means the peer process is gone — this rank
+            # is a secondary casualty either way.  The authoritative
+            # diagnosis (which rank died, and why) comes from the parent's
+            # exit-code poll, so never surface the raw pipe error as if it
+            # were this rank's own failure.
+            raise _AbortedError(
+                "parallel region aborted while sending (peer pipe closed)"
+            ) from None
         return shm_bytes
 
     def inbox(self, rank: int, coll: bool) -> _Mailbox:
@@ -350,33 +359,37 @@ def run_parallel_processes(
     errors: list[ParallelError] = []
     pending = {result_pipes[rank][0]: rank for rank in range(nranks)}
     deadline = time.monotonic() + timeout + 30.0
+
+    def declare_failed(rank: int, exc: BaseException) -> None:
+        """Record a failure and wake every surviving rank promptly.
+
+        Setting the abort flag wakes blocked receives (each rank's receiver
+        thread polls it every ``_POLL_S``); aborting the barriers wakes
+        ranks blocked in a collective barrier wait.  Without the barrier
+        abort, peers of a dead rank would stall until the full recv
+        timeout."""
+        abort_mp.set()
+        for b in (barrier, finish_barrier):
+            try:
+                b.abort()
+            except Exception:
+                pass
+        errors.append(ParallelError(rank, exc))
+
     while pending:
-        ready = connection.wait(list(pending), timeout=0.2)
-        if not ready:
-            if time.monotonic() > deadline:
-                abort_mp.set()
-                for conn, rank in pending.items():
-                    errors.append(
-                        ParallelError(
-                            rank,
-                            TimeoutError(
-                                f"rank {rank} produced no result within "
-                                f"{timeout}s — likely deadlock"
-                            ),
-                        )
-                    )
-                break
-            continue
+        ready = connection.wait(list(pending), timeout=_DETECT_POLL_S)
         for conn in ready:
             rank = pending.pop(conn)
             try:
                 kind, payload = pickle.loads(conn.recv_bytes())
             except (EOFError, OSError):
-                abort_mp.set()
-                errors.append(
-                    ParallelError(
-                        rank, RuntimeError("rank process died without a result")
-                    )
+                procs[rank].join(timeout=1.0)  # reap so exitcode is readable
+                declare_failed(
+                    rank,
+                    RankDiedError(
+                        f"rank {rank} process died without a result "
+                        f"(exit code {procs[rank].exitcode})"
+                    ),
                 )
                 continue
             if kind == "ok":
@@ -384,6 +397,34 @@ def run_parallel_processes(
             else:
                 abort_mp.set()
                 errors.append(ParallelError(rank, payload))
+        # Heartbeat: a child that exited without delivering a result (e.g.
+        # killed by the OS, or os._exit from fault injection) is detected
+        # here within ~_DETECT_POLL_S, not after the full recv timeout.
+        # exitcode set + nothing left in the result pipe == dead child (a
+        # finished child's result bytes are already in the pipe buffer).
+        for conn, rank in list(pending.items()):
+            if procs[rank].exitcode is not None and not conn.poll():
+                del pending[conn]
+                declare_failed(
+                    rank,
+                    RankDiedError(
+                        f"rank {rank} process died without a result "
+                        f"(exit code {procs[rank].exitcode})"
+                    ),
+                )
+        if not ready and pending and time.monotonic() > deadline:
+            abort_mp.set()
+            for conn, rank in pending.items():
+                errors.append(
+                    ParallelError(
+                        rank,
+                        TimeoutError(
+                            f"rank {rank} produced no result within "
+                            f"{timeout}s — likely deadlock"
+                        ),
+                    )
+                )
+            break
 
     for proc in procs:
         proc.join(timeout=10.0)

@@ -9,6 +9,8 @@ situ analysis hooks.
 
 from .checkpoint import (
     BYTES_PER_PARTICLE,
+    CheckpointError,
+    find_latest_checkpoint,
     read_checkpoint,
     restart_simulation,
     write_checkpoint,
@@ -28,9 +30,11 @@ from .power_spectrum import (
 )
 from .simulation import (
     HACCSimulation,
+    RecoveryStats,
     SimulationConfig,
     StepRecord,
     run_simulation,
+    run_with_recovery,
 )
 
 __all__ = [
@@ -61,4 +65,8 @@ __all__ = [
     "SimulationConfig",
     "StepRecord",
     "run_simulation",
+    "run_with_recovery",
+    "RecoveryStats",
+    "CheckpointError",
+    "find_latest_checkpoint",
 ]

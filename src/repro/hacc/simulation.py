@@ -21,12 +21,14 @@ which is how the cosmology-tools framework (:mod:`repro.insitu`) attaches.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
+from .. import faults
 from ..diy.bounds import Bounds
 from ..diy.comm import Communicator, run_parallel
 from ..diy.decomposition import Decomposition
@@ -35,7 +37,14 @@ from .initial_conditions import zeldovich_ics
 from .integrator import TimeStepper, kdk_step
 from .particles import ParticleSet
 
-__all__ = ["SimulationConfig", "StepRecord", "HACCSimulation", "run_simulation"]
+__all__ = [
+    "SimulationConfig",
+    "StepRecord",
+    "RecoveryStats",
+    "HACCSimulation",
+    "run_simulation",
+    "run_with_recovery",
+]
 
 #: Hook signature: hook(simulation, step_index, scale_factor).
 Hook = Callable[["HACCSimulation", int, float], None]
@@ -99,6 +108,22 @@ class StepRecord:
     seconds: float
 
 
+@dataclass
+class RecoveryStats:
+    """Observability for one :func:`run_with_recovery` invocation.
+
+    ``resumed_step`` is the step index the run restarted from (``-1`` for a
+    fresh start); the checkpoint counters cover only checkpoints written by
+    *this* invocation.
+    """
+
+    resumed_step: int = -1
+    steps_run: int = 0
+    checkpoints_written: int = 0
+    checkpoint_bytes: int = 0
+    checkpoint_seconds: float = 0.0
+
+
 class HACCSimulation:
     """One rank's view of a domain-decomposed N-body run.
 
@@ -137,6 +162,10 @@ class HACCSimulation:
         self.a = config.a_init
         self.step_index = 0
         self.step_records: list[StepRecord] = []
+        #: per-particle scalar annotation aligned with :attr:`local` (the
+        #: Voronoi cell density of the paper's §V proposal); populated by
+        #: checkpoint restart, invalidated when particles migrate.
+        self.cell_density: np.ndarray | None = None
 
         # Every rank generates the identical realization deterministically
         # and keeps its own block's particles (replicated IC generation).
@@ -185,6 +214,10 @@ class HACCSimulation:
         """Advance one KDK step and migrate particles to their new owners."""
         if self.step_index >= self.config.nsteps:
             raise RuntimeError("simulation already at a_final")
+        inj = faults.active()
+        if inj is not None:
+            # Fault-injection seam: may kill this rank entering this step.
+            inj.on_step(self.gid, self.step_index + 1)
         t0 = time.perf_counter()
         self.a = kdk_step(
             self.local,
@@ -217,6 +250,9 @@ class HACCSimulation:
         self.local = ParticleSet.concatenate(
             [self.local.select(staying)] + [p for p in arrivals if len(p)]
         )
+        # The annotation indexes the pre-migration particle order; drop it
+        # rather than silently misalign it.
+        self.cell_density = None
 
     def run(self, hooks: dict[int, list[Hook]] | list[Hook] | None = None) -> None:
         """Run all remaining steps, firing hooks after selected steps.
@@ -226,14 +262,7 @@ class HACCSimulation:
         lists.  Hooks also fire at step 0 (initial conditions) when the
         mapping contains key 0.
         """
-        table: dict[int, list[Hook]]
-        if hooks is None:
-            table = {}
-        elif isinstance(hooks, dict):
-            table = hooks
-        else:
-            # A plain list fires after every completed step (not at the ICs).
-            table = {s: list(hooks) for s in range(1, self.config.nsteps + 1)}
+        table = _normalize_hooks(hooks, self.config.nsteps)
 
         for hook in table.get(0, []):
             hook(self, 0, self.a)
@@ -245,6 +274,102 @@ class HACCSimulation:
     def simulation_seconds(self) -> float:
         """Total wall-clock spent inside :meth:`step` so far."""
         return float(sum(r.seconds for r in self.step_records))
+
+
+def _normalize_hooks(
+    hooks: dict[int, list[Hook]] | list[Hook] | None, nsteps: int
+) -> dict[int, list[Hook]]:
+    """The hook-table form of ``hooks`` (see :meth:`HACCSimulation.run`)."""
+    if hooks is None:
+        return {}
+    if isinstance(hooks, dict):
+        return hooks
+    # A plain list fires after every completed step (not at the ICs).
+    return {s: list(hooks) for s in range(1, nsteps + 1)}
+
+
+def run_with_recovery(
+    config: SimulationConfig,
+    comm: Communicator | None = None,
+    *,
+    checkpoint_dir: str,
+    checkpoint_every: int = 1,
+    resume: bool = False,
+    hooks: dict[int, list[Hook]] | list[Hook] | None = None,
+    precision: str = "f8",
+) -> HACCSimulation:
+    """Run a simulation with periodic checkpoints and crash recovery.
+
+    Every ``checkpoint_every`` completed steps (and at the final step) the
+    full state is written crash-consistently to
+    ``checkpoint_dir/ckpt-STEP.ckpt``.  With ``resume=True`` the run
+    restarts from the newest checkpoint in the directory that passes full
+    validation — torn files from a mid-write crash are skipped — and hooks
+    for already-completed steps (in situ analysis included) are *not*
+    re-fired.  The default ``"f8"`` precision makes a same-rank-count
+    resume reproduce the uninterrupted run bit for bit.
+
+    Returns the finished simulation; ``sim.recovery`` is a
+    :class:`RecoveryStats` describing what this invocation did.
+    """
+    from .checkpoint import (
+        checkpoint_path,
+        find_latest_checkpoint,
+        restart_simulation,
+        write_checkpoint,
+    )
+
+    if comm is None or comm.rank == 0:
+        os.makedirs(checkpoint_dir, exist_ok=True)
+    if comm is not None:
+        comm.barrier()
+
+    sim: HACCSimulation | None = None
+    resumed_step = -1
+    if resume:
+        # Rank 0 decides which checkpoint to restart from (validation is
+        # deterministic, but one decision broadcast keeps ranks agreeing
+        # even if the directory changes under a concurrent scan).
+        found = None
+        if comm is None or comm.rank == 0:
+            found = find_latest_checkpoint(checkpoint_dir, config)
+        if comm is not None:
+            found = comm.bcast(found, root=0)
+        if found is not None:
+            resumed_step, path = found
+            sim = restart_simulation(path, config, comm=comm)
+    if sim is None:
+        sim = HACCSimulation(config, comm=comm)
+
+    recovery = RecoveryStats(resumed_step=resumed_step)
+    sim.recovery = recovery
+    table = _normalize_hooks(hooks, config.nsteps)
+
+    if resumed_step < 0:
+        for hook in table.get(0, []):
+            hook(sim, 0, sim.a)
+    while sim.step_index < config.nsteps:
+        sim.step()
+        recovery.steps_run += 1
+        if sim.step_index > resumed_step:  # skip already-analyzed steps
+            for hook in table.get(sim.step_index, []):
+                hook(sim, sim.step_index, sim.a)
+        if checkpoint_every > 0 and (
+            sim.step_index % checkpoint_every == 0
+            or sim.step_index == config.nsteps
+        ):
+            t0 = time.perf_counter()
+            nbytes = write_checkpoint(
+                checkpoint_path(checkpoint_dir, sim.step_index),
+                comm,
+                sim,
+                scalar=sim.cell_density,
+                precision=precision,
+            )
+            recovery.checkpoints_written += 1
+            recovery.checkpoint_bytes += int(nbytes)
+            recovery.checkpoint_seconds += time.perf_counter() - t0
+    return sim
 
 
 def run_simulation(

@@ -14,7 +14,7 @@ from collections.abc import Mapping
 from typing import Any, Iterator
 
 from ..diy.comm import Communicator, run_parallel
-from ..hacc.simulation import HACCSimulation, SimulationConfig
+from ..hacc.simulation import HACCSimulation, SimulationConfig, run_with_recovery
 from .config import FrameworkConfig
 from .tools import TOOL_REGISTRY, AnalysisTool
 
@@ -82,9 +82,12 @@ class CosmologyToolsFramework:
     # ------------------------------------------------------------------
     def hooks_for(self, sim: HACCSimulation, comm: Communicator | None):
         """Hook table for ``HACCSimulation.run`` firing the scheduled tools."""
+        return self._hook_table(sim.config.nsteps, comm)
+
+    def _hook_table(self, nsteps: int, comm: Communicator | None):
         table: dict[int, list] = {}
         for tool, tc in zip(self.tools, self._tool_configs):
-            for step in tc.schedule(sim.config.nsteps):
+            for step in tc.schedule(nsteps):
                 table.setdefault(step, []).append(self._make_hook(tool, comm))
         return table
 
@@ -106,12 +109,39 @@ class CosmologyToolsFramework:
         return hook
 
     def run(
-        self, sim_config: SimulationConfig, comm: Communicator | None = None
+        self,
+        sim_config: SimulationConfig,
+        comm: Communicator | None = None,
+        *,
+        checkpoint_dir: str | None = None,
+        checkpoint_every: int = 0,
+        resume: bool = False,
     ) -> "CosmologyToolsFramework":
         """Run a full simulation with this framework attached (one rank's
-        view when ``comm`` is given; serial otherwise).  Returns ``self``."""
-        sim = HACCSimulation(sim_config, comm=comm)
-        sim.run(hooks=self.hooks_for(sim, comm))
+        view when ``comm`` is given; serial otherwise).  Returns ``self``.
+
+        With ``checkpoint_dir`` set the run goes through
+        :func:`repro.hacc.simulation.run_with_recovery`: every
+        ``checkpoint_every`` steps the full simulation state is written
+        crash-consistently, and ``resume=True`` restarts from the newest
+        valid checkpoint — in situ tools are *not* re-fired for steps the
+        interrupted run already analyzed (their results for those steps
+        live in the earlier run's output, not in :attr:`results`).
+        """
+        table = self._hook_table(sim_config.nsteps, comm)
+        if checkpoint_dir is not None:
+            sim = run_with_recovery(
+                sim_config,
+                comm,
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_every=checkpoint_every,
+                resume=resume,
+                hooks=table,
+            )
+            self._resumed_step = sim.recovery.resumed_step
+        else:
+            sim = HACCSimulation(sim_config, comm=comm)
+            sim.run(hooks=table)
         self._simulation_seconds = sim.simulation_seconds()
         return self
 
@@ -119,6 +149,12 @@ class CosmologyToolsFramework:
     def simulation_seconds(self) -> float:
         """Wall-clock spent in simulation stepping during :meth:`run`."""
         return getattr(self, "_simulation_seconds", 0.0)
+
+    @property
+    def resumed_step(self) -> int:
+        """Step the last :meth:`run` resumed from (-1 if it started fresh
+        or ran without checkpointing)."""
+        return getattr(self, "_resumed_step", -1)
 
 
 class InsituResults(Mapping):
@@ -132,10 +168,15 @@ class InsituResults(Mapping):
     """
 
     def __init__(
-        self, results: dict[str, dict[int, Any]], simulation_seconds: float
+        self,
+        results: dict[str, dict[int, Any]],
+        simulation_seconds: float,
+        resumed_step: int = -1,
     ) -> None:
         self._results = results
         self.simulation_seconds = simulation_seconds
+        #: step the run resumed from (-1 for a fresh / non-checkpointed run)
+        self.resumed_step = resumed_step
 
     def __getitem__(self, tool_name: str) -> dict[int, Any]:
         return self._results[tool_name]
@@ -158,6 +199,9 @@ def run_simulation_with_tools(
     framework_config: FrameworkConfig | dict,
     nranks: int = 1,
     backend: str = "thread",
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int = 0,
+    resume: bool = False,
 ) -> InsituResults:
     """Convenience driver: simulate with tools attached; return results.
 
@@ -171,15 +215,26 @@ def run_simulation_with_tools(
     compute-bound in situ analysis) — see
     :func:`repro.diy.comm.run_parallel`.  Tool results are identical
     between the two.
+
+    ``checkpoint_dir``/``checkpoint_every``/``resume`` enable the
+    crash-recovery path of :meth:`CosmologyToolsFramework.run`; on a
+    resumed run :attr:`InsituResults.resumed_step` reports the restart
+    point and only steps after it appear in the result store.
     """
     if isinstance(framework_config, dict):
         framework_config = FrameworkConfig.from_dict(framework_config)
 
     def worker(comm: Communicator):
         fw = CosmologyToolsFramework(framework_config)
-        fw.run(sim_config, comm=comm if comm.size > 1 else None)
-        return fw.results, fw.simulation_seconds
+        fw.run(
+            sim_config,
+            comm=comm if comm.size > 1 else None,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            resume=resume,
+        )
+        return fw.results, fw.simulation_seconds, fw.resumed_step
 
     results = run_parallel(nranks, worker, backend=backend)
-    sim_seconds = max(seconds for _, seconds in results)
-    return InsituResults(results[0][0], sim_seconds)
+    sim_seconds = max(seconds for _, seconds, _ in results)
+    return InsituResults(results[0][0], sim_seconds, resumed_step=results[0][2])

@@ -1,6 +1,7 @@
 """Tests for the command-line interfaces."""
 
 import json
+import os
 
 import numpy as np
 import pytest
@@ -94,3 +95,32 @@ class TestSimCLI:
         rc = sim_main([deck])
         assert rc == 0
         assert "histogram n=" in capsys.readouterr().out
+
+    def test_kill_and_resume_cycle(self, tmp_path, capsys):
+        """--fault-kill crashes the run after its checkpoints are on disk;
+        --resume finishes it, skipping the already-analyzed steps."""
+        deck = self._deck(
+            tmp_path,
+            [{"tool": "statistics", "every": 2}],
+            sim={"np_side": 8, "nsteps": 6, "seed": 7},
+        )
+        ckpt = str(tmp_path / "ckpts")
+        common = [deck, "--ranks", "2", "--checkpoint-every", "2",
+                  "--checkpoint-dir", ckpt]
+        rc = sim_main(common + ["--fault-kill", "1:5"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "rank 1" in err and "--resume" in err
+        assert sorted(os.listdir(ckpt)) == [
+            "ckpt-000002.ckpt", "ckpt-000004.ckpt"
+        ]
+        rc = sim_main(common + ["--resume"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "resumed from checkpoint at step 4" in out
+        # Steps 2 and 4 were analyzed before the crash; only 6 re-fires.
+        assert "@ step 6" in out and "@ step 4" not in out
+
+    def test_bad_fault_kill_spec(self, tmp_path):
+        deck = self._deck(tmp_path, [{"tool": "statistics"}])
+        assert sim_main([deck, "--fault-kill", "nonsense"]) == 2

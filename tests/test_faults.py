@@ -1,0 +1,195 @@
+"""Fault-injection tests: seeded message faults, rank kills, kill-and-resume.
+
+Exercises :mod:`repro.faults` end to end: deterministic drop/delay decisions,
+a rank killed mid-simulation on both execution backends (with bounded
+detection on the process backend), and bit-identical resume from the last
+checkpoint via :func:`repro.hacc.simulation.run_with_recovery`.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.diy.comm import ParallelError, run_parallel
+from repro.diy.process_backend import RankDiedError
+from repro.hacc import HACCSimulation, SimulationConfig, run_with_recovery
+
+
+@pytest.fixture(autouse=True)
+def _clear_faults():
+    """Never let an injector leak between tests."""
+    yield
+    faults.clear()
+
+
+class TestFaultSpec:
+    def test_rejects_bad_rates_and_modes(self):
+        with pytest.raises(ValueError):
+            faults.FaultSpec(drop_rate=1.5)
+        with pytest.raises(ValueError):
+            faults.FaultSpec(delay_rate=-0.1)
+        with pytest.raises(ValueError):
+            faults.FaultSpec(kill_mode="segfault")
+        with pytest.raises(ValueError):
+            faults.FaultSpec(tear_fraction=2.0)
+
+    def test_install_active_clear(self):
+        assert faults.active() is None
+        inj = faults.install(faults.FaultSpec(seed=3))
+        try:
+            assert faults.active() is inj
+        finally:
+            faults.clear()
+        assert faults.active() is None
+
+
+class TestMessageFaults:
+    def test_seeded_drop_decisions_are_deterministic(self):
+        """Same seed => same per-rank drop/delay pattern, run after run."""
+
+        def decisions():
+            inj = faults.FaultInjector(
+                faults.FaultSpec(seed=42, drop_rate=0.3, delay_rate=0.2,
+                                 delay_s=0.0)
+            )
+            return [inj.on_send(rank, dest=(rank + 1) % 2, tag=i)
+                    for rank in (0, 1) for i in range(40)]
+
+        assert decisions() == decisions()
+        # and a different seed gives a different pattern
+        other = faults.FaultInjector(
+            faults.FaultSpec(seed=43, drop_rate=0.3, delay_rate=0.2,
+                             delay_s=0.0)
+        )
+        alt = [other.on_send(rank, dest=(rank + 1) % 2, tag=i)
+               for rank in (0, 1) for i in range(40)]
+        assert alt != decisions()
+
+    def test_dropped_messages_counted_and_absent(self):
+        """Receivers learn the surviving count via an (unfaulted) collective
+        and drain exactly that many messages — no deadlock, no leftovers."""
+        faults.install(faults.FaultSpec(seed=7, drop_rate=0.5))
+
+        def worker(comm):
+            n = 30
+            if comm.rank == 0:
+                for i in range(n):
+                    comm.send(i, dest=1, tag=5)
+            sent = n - comm.stats.msgs_dropped if comm.rank == 0 else 0
+            kept = comm.allreduce(sent)
+            if comm.rank == 1:
+                got = [comm.recv(source=0, tag=5) for _ in range(kept)]
+                assert len(got) == kept
+            return comm.stats.msgs_dropped
+
+        dropped = run_parallel(2, worker)
+        assert 0 < dropped[0] < 30  # p=0.5 over 30 trials
+        assert dropped[1] == 0
+
+    def test_delay_injects_latency(self):
+        faults.install(faults.FaultSpec(seed=1, delay_rate=1.0, delay_s=0.05))
+
+        def worker(comm):
+            if comm.rank == 0:
+                t0 = time.perf_counter()
+                comm.send("x", dest=1, tag=9)
+                elapsed = time.perf_counter() - t0
+                assert elapsed >= 0.05
+            else:
+                assert comm.recv(source=0, tag=9) == "x"
+            return comm.stats.msgs_delayed
+
+        delayed = run_parallel(2, worker)
+        assert delayed == [1, 0]
+
+
+class TestRankKill:
+    def test_thread_backend_kill_at_step(self):
+        cfg = SimulationConfig(np_side=8, nsteps=4, seed=11)
+        faults.install(
+            faults.FaultSpec(kill_rank=1, kill_step=3, kill_mode="raise")
+        )
+
+        def worker(comm):
+            sim = HACCSimulation(cfg, comm=comm)
+            sim.run()
+
+        with pytest.raises(ParallelError) as exc:
+            run_parallel(2, worker)
+        assert exc.value.rank == 1
+        assert isinstance(exc.value.original, faults.RankKilledError)
+        assert "step 3" in str(exc.value.original)
+
+    def test_process_backend_kill_detected_within_bound(self):
+        """A child dying via os._exit must surface as ParallelError naming
+        the rank well before the full recv timeout would expire."""
+        cfg = SimulationConfig(np_side=8, nsteps=4, seed=11)
+        faults.install(
+            faults.FaultSpec(kill_rank=1, kill_step=2, kill_mode="exit",
+                             kill_exitcode=87)
+        )
+
+        def worker(comm):
+            sim = HACCSimulation(cfg, comm=comm)
+            sim.run()
+
+        t0 = time.perf_counter()
+        with pytest.raises(ParallelError) as exc:
+            run_parallel(2, worker, backend="process", recv_timeout=60.0)
+        elapsed = time.perf_counter() - t0
+        assert exc.value.rank == 1
+        assert isinstance(exc.value.original, RankDiedError)
+        assert "exit code 87" in str(exc.value.original)
+        assert elapsed < 30.0  # bounded detection, not the 60 s recv timeout
+
+
+class TestKillAndResume:
+    CFG = SimulationConfig(np_side=8, nsteps=6, seed=7)
+
+    def _reference(self, nranks):
+        def worker(comm):
+            sim = HACCSimulation(self.CFG, comm=comm)
+            sim.run()
+            return sim.local
+
+        return run_parallel(nranks, worker)
+
+    def _recover(self, nranks, backend, ckpt_dir, resume):
+        def worker(comm):
+            sim = run_with_recovery(
+                self.CFG, comm, checkpoint_dir=ckpt_dir,
+                checkpoint_every=2, resume=resume,
+            )
+            return sim.local, sim.recovery.resumed_step
+
+        return run_parallel(nranks, worker, backend=backend)
+
+    @pytest.mark.parametrize("backend,kill_mode", [
+        ("thread", "raise"),
+        ("process", "exit"),
+    ])
+    def test_resume_is_bit_identical(self, tmp_path, backend, kill_mode):
+        ckpt_dir = str(tmp_path / "ckpts")
+        reference = self._reference(2)
+
+        faults.install(
+            faults.FaultSpec(kill_rank=1, kill_step=5, kill_mode=kill_mode)
+        )
+        with pytest.raises(ParallelError):
+            self._recover(2, backend, ckpt_dir, resume=False)
+        faults.clear()
+
+        # Checkpoints for steps 2 and 4 must have survived the crash.
+        names = sorted(os.listdir(ckpt_dir))
+        assert names == ["ckpt-000002.ckpt", "ckpt-000004.ckpt"]
+
+        results = self._recover(2, backend, ckpt_dir, resume=True)
+        for rank, (local, resumed_step) in enumerate(results):
+            assert resumed_step == 4
+            ref = reference[rank]
+            assert np.array_equal(local.positions, ref.positions)
+            assert np.array_equal(local.velocities, ref.velocities)
+            assert np.array_equal(local.ids, ref.ids)

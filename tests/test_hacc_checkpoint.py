@@ -4,9 +4,14 @@ import numpy as np
 import pytest
 
 from repro.diy.comm import run_parallel
+from repro.diy.mpi_io import write_blocks
 from repro.hacc import HACCSimulation, SimulationConfig
 from repro.hacc.checkpoint import (
     BYTES_PER_PARTICLE,
+    CheckpointError,
+    _encode_block,
+    checkpoint_path,
+    find_latest_checkpoint,
     read_checkpoint,
     restart_simulation,
     write_checkpoint,
@@ -122,3 +127,97 @@ class TestRestart:
         run_parallel(1, writer)
         with pytest.raises(ValueError, match="8"):
             restart_simulation(path, SimulationConfig(np_side=12, nsteps=2))
+
+    def test_restart_redistributes_scalar_annotation(self, tmp_path):
+        """The per-particle scalar written with the checkpoint follows its
+        particles through restart redistribution, even when the restart
+        rank count differs from the writing one."""
+        cfg = SimulationConfig(np_side=8, nsteps=4, seed=12)
+        path = str(tmp_path / "s.ckpt")
+
+        def writer(comm):
+            sim = HACCSimulation(cfg, comm=comm)
+            sim.step()
+            # A scalar that identifies its particle: scalar[i] = ids[i].
+            write_checkpoint(path, comm, sim,
+                             scalar=sim.local.ids.astype(float),
+                             precision="f8")
+
+        run_parallel(2, writer)
+
+        def reader(comm):
+            sim = restart_simulation(path, cfg, comm=comm)
+            assert sim.cell_density is not None
+            assert len(sim.cell_density) == len(sim.local)
+            np.testing.assert_array_equal(
+                sim.cell_density, sim.local.ids.astype(float)
+            )
+            return len(sim.local)
+
+        for nranks in (2, 4):  # same and different rank count
+            assert sum(run_parallel(nranks, reader)) == 512
+
+
+class TestCheckpointValidation:
+    def test_empty_file_rejected_with_named_error(self, tmp_path):
+        path = str(tmp_path / "empty.ckpt")
+        open(path, "wb").close()
+        with pytest.raises(CheckpointError, match="empty.ckpt"):
+            read_checkpoint(path)
+
+    def test_truncated_block_names_path_gid_and_bytes(self, tmp_path):
+        """A block cut mid-particle-data is reported with the path, the
+        block gid, and expected vs. actual byte counts — not an opaque
+        numpy buffer error."""
+        cfg = SimulationConfig(np_side=8, nsteps=1, seed=9)
+        sim = HACCSimulation(cfg)
+        blob = _encode_block(sim.local, sim.a, 1, 8, None)
+        cut = blob[: len(blob) // 2]
+        path = str(tmp_path / "trunc.ckpt")
+        run_parallel(
+            1, lambda c: write_blocks(path, c, [(0, cut)], nblocks_total=1)
+        )
+        with pytest.raises(CheckpointError) as exc:
+            read_checkpoint(path)
+        msg = str(exc.value)
+        assert "trunc.ckpt" in msg and "block 0" in msg
+        assert str(len(cut)) in msg and str(len(blob)) in msg
+
+    def test_duplicate_ids_rejected_by_validate(self, tmp_path):
+        cfg = SimulationConfig(np_side=8, nsteps=1, seed=10)
+        sim = HACCSimulation(cfg)
+        blob = _encode_block(sim.local, sim.a, 1, 8, None)
+        path = str(tmp_path / "dup.ckpt")
+        run_parallel(
+            1,
+            lambda c: write_blocks(
+                path, c, [(0, blob), (1, blob)], nblocks_total=2
+            ),
+        )
+        # Without validation the duplicated file reads "successfully"...
+        particles, _, _, _, _ = read_checkpoint(path)
+        assert len(particles) == 1024
+        # ...with validation the id-coverage check catches it.
+        with pytest.raises(CheckpointError, match="duplicate"):
+            read_checkpoint(path, validate=True)
+        with pytest.raises(CheckpointError, match="duplicate"):
+            restart_simulation(path, cfg)
+
+    def test_find_latest_skips_invalid_checkpoints(self, tmp_path):
+        cfg = SimulationConfig(np_side=8, nsteps=6, seed=13)
+        ckpt_dir = str(tmp_path)
+
+        def writer(comm):
+            sim = HACCSimulation(cfg, comm=comm)
+            sim.step(); sim.step()
+            write_checkpoint(checkpoint_path(ckpt_dir, 2), comm, sim)
+
+        run_parallel(2, writer)
+        # A newer checkpoint that is garbage (e.g. assembled from a torn
+        # write of the pre-CRC format) must be skipped, not crash the scan.
+        with open(checkpoint_path(ckpt_dir, 4), "wb") as fh:
+            fh.write(b"\x00" * 100)
+        found = find_latest_checkpoint(ckpt_dir, cfg)
+        assert found is not None
+        step, path = found
+        assert step == 2 and path.endswith("ckpt-000002.ckpt")

@@ -161,3 +161,23 @@ class TestFramework:
         for step in (2, 4):
             ondisk = read_tessellation(str(tmp_path / f"step{step}.tess"))
             assert ondisk.num_cells == results["tessellation"][step].num_cells
+
+    def test_checkpointed_run_and_resume_skip_done_steps(self, tmp_path):
+        """A checkpointed framework run resumes from the newest checkpoint
+        and does not re-fire tools for already-analyzed steps."""
+        ckpt = str(tmp_path / "ckpts")
+        cfg = SimulationConfig(np_side=8, nsteps=4, seed=6)
+        spec = {"tools": [{"tool": "statistics", "every": 1}]}
+
+        first = run_simulation_with_tools(
+            cfg, spec, nranks=2, checkpoint_dir=ckpt, checkpoint_every=2
+        )
+        assert first.resumed_step == -1
+        assert sorted(first["statistics"]) == [1, 2, 3, 4]
+
+        resumed = run_simulation_with_tools(
+            cfg, spec, nranks=2, checkpoint_dir=ckpt, checkpoint_every=2,
+            resume=True,
+        )
+        assert resumed.resumed_step == 4  # final-step checkpoint
+        assert sorted(resumed["statistics"]) == []  # nothing left to analyze

@@ -65,20 +65,54 @@ class TestCorruptedBlockFiles:
         with pytest.raises(Exception):
             BlockFileReader(path)
 
-    def test_corrupted_payload_detected_by_unpack(self, tmp_path):
+    def test_corrupted_payload_detected_by_crc(self, tmp_path):
+        from repro.diy.mpi_io import CheckpointError
+
         path = str(tmp_path / "p.diy")
         self._write(path)
         with open(path, "r+b") as fh:
             fh.seek(20)  # inside the payload
             fh.write(b"\xff" * 8)
         with BlockFileReader(path) as r:
-            blob = r.read_block(0)
-            from repro.diy.mpi_io import unpack_arrays
+            with pytest.raises(CheckpointError, match="CRC"):
+                r.read_block(0)
+            # verify=False still hands back the raw bytes for forensics.
+            assert isinstance(r.read_block(0, verify=False), bytes)
 
-            with pytest.raises(Exception):
-                # Either a parse error or a checksum-free format mismatch.
-                arrays = unpack_arrays(blob)
-                np.testing.assert_array_equal(arrays["x"], np.arange(5.0))
+    def test_corrupted_footer_crc_rejected(self, tmp_path):
+        from repro.diy.mpi_io import CheckpointError
+
+        path = str(tmp_path / "fc.diy")
+        self._write(path)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.seek(size - 20)  # inside the footer index
+            fh.write(b"\xff\xff")
+        with pytest.raises(CheckpointError, match="footer"):
+            BlockFileReader(path)
+
+    def test_torn_tmp_file_never_replaces_checkpoint(self, tmp_path):
+        """A write torn mid-stream leaves only a .tmp orphan; the published
+        file (if any) is untouched and still validates."""
+        from repro import faults
+        from repro.diy.mpi_io import CheckpointError
+
+        path = str(tmp_path / "t.diy")
+        self._write(path)
+        before = open(path, "rb").read()
+        faults.install(faults.FaultSpec(tear_rank=0, tear_step=None))
+        try:
+            # nranks=1 runs serially, so the fault surfaces unwrapped.
+            with pytest.raises(faults.TornWriteError):
+                self._write(path)
+        finally:
+            faults.clear()
+        assert open(path, "rb").read() == before
+        with BlockFileReader(path) as r:  # still fully valid
+            assert r.nblocks == 1
+        # The torn partial write is quarantined in the temp file.
+        with pytest.raises(CheckpointError):
+            BlockFileReader(path + ".tmp")
 
 
 class TestHostileGeometryInputs:
