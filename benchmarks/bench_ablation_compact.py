@@ -37,7 +37,7 @@ def test_ablation_compact_encoding(benchmark, evolved_snapshot_32):
         f"{'compact (f32+varint)':<22} {cmp_total:>12d} {cmp_total / n:>11.0f} "
         f"{100 * cmp_total / std_total:>11.0f}%",
         "",
-        f"paper full-output budget: ~450 B/particle (float32 arrays)",
+        "paper full-output budget: ~450 B/particle (float32 arrays)",
         "compact decode is exact on connectivity, float32 on geometry;",
         "round-trip is covered by tests/test_core_compact.py.",
     ]

@@ -27,8 +27,6 @@ import os
 import sys
 import time
 
-import numpy as np
-
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 from conftest import write_report  # noqa: E402
 
@@ -51,17 +49,24 @@ def _tess_worker(comm, decomp, pts, pid, ghost, vmin):
     from repro.core.tessellate import tessellate_distributed
 
     mine = decomp.locate(pts) == comm.rank
-    block, _timings, _ = tessellate_distributed(
+    block, timings, _ = tessellate_distributed(
         comm, decomp, pts[mine], pid[mine], ghost=ghost, vmin=vmin
     )
     # Gather blocks to root exactly as the in situ tessellation tool does —
     # this is the large-array traffic the zero-copy transport exists for.
     gathered = comm.gather(block, root=0)
     ncells = sum(b.num_cells for b in gathered) if comm.rank == 0 else -1
-    return ncells, comm.stats.as_dict()
+    return ncells, comm.stats.as_dict(), timings.as_row_extended()
 
 
-def run_sweep(quick: bool = False) -> list[str]:
+def run_sweep(quick: bool = False) -> tuple[list[str], dict]:
+    """Run the sweep; returns ``(report_lines, data)``.
+
+    ``data`` is the machine-readable form consumed by the perf gate
+    (:mod:`benchmarks.perf_gate`): one entry per (backend, ranks) run with
+    the best-of-N wall seconds, per-phase max-over-ranks seconds (the
+    paper's critical-path convention), and bytes moved.
+    """
     from repro.diy.comm import run_parallel
     from repro.diy.decomposition import Decomposition
 
@@ -84,6 +89,7 @@ def run_sweep(quick: bool = False) -> list[str]:
     ]
     repeats = 2 if quick else 3
     largest_stats: dict[str, list[dict]] = {}
+    runs: list[dict] = []
     for backend in ("thread", "process"):
         base = None
         for nranks in rank_counts:
@@ -99,8 +105,23 @@ def run_sweep(quick: bool = False) -> list[str]:
             base = wall if base is None else base
             ncells = results[0][0]
             stats = [r[1] for r in results]
+            rows = [r[2] for r in results]
             if nranks == rank_counts[-1]:
                 largest_stats[backend] = stats
+            runs.append({
+                "backend": backend,
+                "ranks": nranks,
+                "wall_s": wall,
+                "cells": ncells,
+                "bytes_sent": max(s["bytes_sent"] for s in stats),
+                "shm_bytes_sent": max(s["shm_bytes_sent"] for s in stats),
+                # per-phase max over ranks: the critical-path seconds the
+                # paper's Table II reports
+                "phase_max_s": {
+                    phase: max(r[f"{phase}_s"] for r in rows)
+                    for phase in ("exchange", "compute", "output")
+                },
+            })
             lines.append(
                 f"{backend:>8} {nranks:>5} {wall:>8.3f} {base / wall:>7.2f}x "
                 f"{ncells:>6} {max(s['bytes_sent'] for s in stats):>14} "
@@ -123,12 +144,22 @@ def run_sweep(quick: bool = False) -> list[str]:
         f"shared-memory transport exercised: {shm_total} bytes via shm "
         f"segments at {rank_counts[-1]} process ranks"
     )
-    return lines
+    data = {
+        "workload": {
+            "np_side": np_side,
+            "nsteps": nsteps,
+            "rank_counts": list(rank_counts),
+            "repeats": repeats,
+        },
+        "runs": runs,
+    }
+    return lines, data
 
 
 def test_backend_scaling_quick():
     """Pytest entry point: the quick sweep, persisted like the other benches."""
-    write_report("backend_scaling", run_sweep(quick=True))
+    lines, _ = run_sweep(quick=True)
+    write_report("backend_scaling", lines)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -139,7 +170,8 @@ def main(argv: list[str] | None = None) -> int:
         help="small snapshot (12^3) and rank counts 1/2/4 — CI smoke mode",
     )
     args = p.parse_args(argv)
-    write_report("backend_scaling", run_sweep(quick=args.quick))
+    lines, _ = run_sweep(quick=args.quick)
+    write_report("backend_scaling", lines)
     return 0
 
 

@@ -10,7 +10,6 @@ Expected shape here: the delta range expands monotonically, skewness and
 kurtosis increase monotonically from a near-Gaussian start.
 """
 
-import numpy as np
 
 from repro.analysis import density_contrast, histogram
 from conftest import write_report

@@ -9,7 +9,6 @@ the thresholded cells (Figure 7), as PGM images plus an ASCII thumbnail
 in the report.
 """
 
-import numpy as np
 
 from repro.analysis import connected_components
 from repro.analysis.render import ascii_render, slice_field, write_pgm

@@ -12,7 +12,6 @@ accuracy in ghost size per block count, decreasing accuracy in block count
 at ghost 0, and 100% rows at ghost >= 4.
 """
 
-import numpy as np
 
 from repro.core import match_tessellations, tessellate
 from conftest import write_report

@@ -13,8 +13,6 @@ thread-CPU seconds (the faithful stand-in for per-node time on a real
 distributed machine — wall-clock in one GIL-bound process is not).
 """
 
-import numpy as np
-import pytest
 
 from repro.core.tessellate import tessellate_distributed
 from repro.diy.comm import run_parallel

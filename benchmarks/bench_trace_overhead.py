@@ -1,0 +1,138 @@
+"""Trace overhead — cost of the observability subsystem on a real run.
+
+The tracing contract (repro.observe) is "near-zero when disabled, cheap
+when enabled": hot paths guard on a module-level flag, so a production run
+that never passes ``--trace`` pays one attribute load + branch per
+potential span.  This bench quantifies both sides:
+
+* **disabled span call** — nanoseconds per ``trace.span(...)`` call with
+  tracing off (the cost every untraced run pays at each instrumented
+  site);
+* **enabled vs disabled run** — best-of-N wall-clock of the acceptance
+  workload (2 ranks, 16^3 particles, a few steps with an in situ
+  tessellation) with tracing off and on.  The overhead percentage is the
+  number gated in CI: the perf gate fails if it exceeds 5%.
+
+Run directly (``python benchmarks/bench_trace_overhead.py [--quick]``) or
+via pytest (quick mode).  Results land in
+``benchmarks/results/trace_overhead.txt``; the machine-readable form is
+consumed by :mod:`benchmarks.perf_gate`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from conftest import write_report  # noqa: E402
+
+NRANKS = 2
+NP_SIDE = 16
+
+
+def _timed_run(nsteps: int) -> float:
+    """Wall-clock of one acceptance-shaped run (sim + in situ tessellation)."""
+    from repro.hacc import SimulationConfig
+    from repro.insitu import run_simulation_with_tools
+
+    cfg = SimulationConfig(np_side=NP_SIDE, nsteps=nsteps, seed=5)
+    spec = {"tools": [
+        {"tool": "tessellation", "every": nsteps, "params": {"ghost": 2.0}},
+    ]}
+    t0 = time.perf_counter()
+    run_simulation_with_tools(cfg, spec, nranks=NRANKS)
+    return time.perf_counter() - t0
+
+
+def _disabled_span_ns(calls: int = 200_000) -> float:
+    """Nanoseconds per ``trace.span`` call with tracing disabled."""
+    from repro.observe import trace
+
+    assert not trace.enabled()
+    span = trace.span  # the attribute load callers pay
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        with span("bench", rank=0):
+            pass
+    elapsed = time.perf_counter() - t0
+    return elapsed / calls * 1e9
+
+
+def run_bench(quick: bool = False) -> tuple[list[str], dict]:
+    """Measure overhead; returns ``(report_lines, data)``.
+
+    ``data`` carries ``overhead_pct`` (enabled vs disabled wall), the
+    best-of-N wall seconds for both modes, the disabled per-call cost in
+    nanoseconds, and the events recorded on the enabled run.
+    """
+    from repro import observe
+
+    nsteps = 4 if quick else 10
+    repeats = 3
+
+    observe.disable()
+    ns_per_call = _disabled_span_ns(50_000 if quick else 200_000)
+
+    _timed_run(nsteps)  # warm-up: imports, qhull, allocator
+    wall_off = min(_timed_run(nsteps) for _ in range(repeats))
+
+    observe.enable()
+    observe.reset_all()
+    wall_on = min(_timed_run(nsteps) for _ in range(repeats))
+    nevents = observe.num_events()
+    dropped = observe.dropped_events()
+    observe.disable()
+    observe.reset_all()
+
+    overhead_pct = (wall_on - wall_off) / wall_off * 100.0
+
+    lines = [
+        "Trace overhead: repro.observe enabled vs disabled",
+        f"workload: {NP_SIDE}^3 particles, {nsteps} steps, {NRANKS} ranks, "
+        f"one in situ tessellation (best of {repeats})",
+        "",
+        f"disabled span call:    {ns_per_call:8.0f} ns "
+        f"(flag check + no-op context manager)",
+        f"wall, tracing off:     {wall_off:8.3f} s",
+        f"wall, tracing on:      {wall_on:8.3f} s   "
+        f"({nevents} spans recorded, {dropped} dropped)",
+        f"overhead:              {overhead_pct:+8.2f} %   (CI gate: < 5%)",
+    ]
+    data = {
+        "workload": {
+            "np_side": NP_SIDE, "nsteps": nsteps,
+            "nranks": NRANKS, "repeats": repeats,
+        },
+        "disabled_span_ns": ns_per_call,
+        "wall_off_s": wall_off,
+        "wall_on_s": wall_on,
+        "overhead_pct": overhead_pct,
+        "events_recorded": nevents,
+        "events_dropped": dropped,
+    }
+    return lines, data
+
+
+def test_trace_overhead_quick():
+    """Pytest entry point: the quick bench, persisted like the other benches."""
+    lines, data = run_bench(quick=True)
+    write_report("trace_overhead", lines)
+    assert data["events_recorded"] > 0
+    assert data["events_dropped"] == 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--quick", action="store_true",
+                   help="fewer steps and span calls — CI smoke mode")
+    args = p.parse_args(argv)
+    lines, _ = run_bench(quick=args.quick)
+    write_report("trace_overhead", lines)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,6 @@ benches.
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 import numpy as np

@@ -14,7 +14,6 @@ Run:  python examples/density_estimators.py
 
 import numpy as np
 
-from repro.diy.bounds import Bounds
 from repro.hacc import SimulationConfig, run_simulation
 from repro.hacc.mesh import cic_deposit
 from repro.core import tessellate

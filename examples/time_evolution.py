@@ -9,7 +9,6 @@ paper's simple indicators of the breakdown of perturbation theory.
 Run:  python examples/time_evolution.py
 """
 
-import numpy as np
 
 from repro.hacc import SimulationConfig
 from repro.insitu import run_simulation_with_tools

@@ -9,7 +9,6 @@ plugin analysis of §III-D.
 Run:  python examples/void_finding.py
 """
 
-import numpy as np
 
 from repro.hacc import SimulationConfig
 from repro.insitu import run_simulation_with_tools

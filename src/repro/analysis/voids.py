@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.tessellate import Tessellation
-from .components import ComponentLabeling, connected_components
+from .components import connected_components
 from .minkowski import MinkowskiFunctionals, minkowski_functionals
 
 __all__ = ["Void", "VoidCatalog", "find_voids", "volume_threshold_for_fraction"]

@@ -55,7 +55,44 @@ def _build_tess_parser() -> argparse.ArgumentParser:
                    help="treat the domain as bounded (boundary cells deleted)")
     p.add_argument("-o", "--output", default=None, help="tess output file")
     p.add_argument("--seed", type=int, default=0, help="seed for --random")
+    _add_observe_args(p)
     return p
+
+
+def _add_observe_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace", default=None, metavar="OUT.json",
+                   help="record per-rank spans and write a Chrome trace-event "
+                        "JSON (load in Perfetto or chrome://tracing)")
+    p.add_argument("--metrics", default=None, metavar="OUT.json",
+                   help="write a machine-readable run-metrics report "
+                        "(span summary, counters, memory high-water marks)")
+
+
+def _observe_start(args) -> bool:
+    """Enable tracing/metrics if either output flag was given."""
+    if args.trace is None and args.metrics is None:
+        return False
+    from . import observe
+
+    observe.enable()
+    return True
+
+
+def _observe_finish(args) -> None:
+    """Write the requested trace/metrics files and print where they went."""
+    from . import observe
+
+    if args.trace is not None:
+        nspans = observe.write_chrome_trace(args.trace)
+        print(f"trace:         {args.trace} ({nspans} spans)")
+    if args.metrics is not None:
+        observe.write_metrics(args.metrics)
+        print(f"metrics:       {args.metrics}")
+    dropped = observe.dropped_events()
+    if dropped:
+        print(f"warning: trace ring buffers dropped {dropped} events "
+              f"(raise capacity via repro.observe.enable)", file=sys.stderr)
+    observe.disable()
 
 
 def tess_main(argv: list[str] | None = None) -> int:
@@ -79,6 +116,7 @@ def tess_main(argv: list[str] | None = None) -> int:
             return 2
         box = args.box or float(np.ceil(points.max() + 1e-9))
 
+    observing = _observe_start(args)
     domain = Bounds.cube(box)
     tess = tessellate(
         points,
@@ -107,6 +145,8 @@ def tess_main(argv: list[str] | None = None) -> int:
     )
     if args.output:
         print(f"wrote:         {args.output} ({tess.output_bytes} bytes)")
+    if observing:
+        _observe_finish(args)
     return 0
 
 
@@ -135,6 +175,7 @@ def _build_sim_parser() -> argparse.ArgumentParser:
                         "exception under thread)")
     p.add_argument("--fault-seed", type=int, default=0,
                    help="seed for the fault-injection RNG")
+    _add_observe_args(p)
     return p
 
 
@@ -180,6 +221,7 @@ def sim_main(argv: list[str] | None = None) -> int:
             kill_mode="exit" if args.exec_backend == "process" else "raise",
         ))
 
+    observing = _observe_start(args)
     print(
         f"simulating {cfg.np_side}^3 particles, {cfg.nsteps} steps, "
         f"{args.ranks} rank(s)..."
@@ -207,6 +249,8 @@ def sim_main(argv: list[str] | None = None) -> int:
     for tool, per_step in results.items():
         for step, result in sorted(per_step.items()):
             print(f"[{tool} @ step {step}] {_describe(result)}")
+    if observing:
+        _observe_finish(args)
     return 0
 
 

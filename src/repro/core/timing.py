@@ -36,6 +36,8 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, fields
 
+from ..observe import trace as _trace
+
 __all__ = ["TessTimings", "PhaseTimer"]
 
 _CORE_PHASES = ("exchange", "compute", "output")
@@ -115,11 +117,26 @@ class TessTimings:
 
 
 class PhaseTimer:
-    """Accumulates wall and thread-CPU time into dynamically named phases."""
+    """Accumulates wall and thread-CPU time into dynamically named phases.
 
-    def __init__(self) -> None:
+    Phases are **reentrant**: re-entering a phase name from a nested
+    context is safe — only the outermost entry accumulates, so the wall
+    clock is never double-counted (a nested span is already covered by
+    its enclosing one).  A timer instance belongs to one rank/thread;
+    nesting is tracked per instance, not per thread.
+
+    With ``rank`` set, every completed phase additionally records a span
+    into the tracing subsystem (:mod:`repro.observe.trace`) when tracing
+    is enabled — this is how the tessellation's exchange/compute/output
+    phases appear on the run timeline.  Nested entries *are* recorded as
+    spans (they nest naturally on the trace track).
+    """
+
+    def __init__(self, rank: int | None = None) -> None:
         self._wall: dict[str, float] = {}
         self._cpu: dict[str, float] = {}
+        self._active: dict[str, int] = {}
+        self._rank = rank
 
     @contextmanager
     def phase(self, name: str):
@@ -131,15 +148,25 @@ class PhaseTimer:
         :meth:`cpu`, and :meth:`as_dict`."""
         if not isinstance(name, str) or not name:
             raise ValueError(f"phase name must be a nonempty string, got {name!r}")
+        depth = self._active.get(name, 0)
+        self._active[name] = depth + 1
         w0 = time.perf_counter()
         c0 = time.thread_time()
         try:
             yield
         finally:
-            self._wall[name] = (
-                self._wall.get(name, 0.0) + time.perf_counter() - w0
-            )
-            self._cpu[name] = self._cpu.get(name, 0.0) + time.thread_time() - c0
+            w1 = time.perf_counter()
+            c1 = time.thread_time()
+            self._active[name] = depth
+            if depth == 0:
+                # Outermost entry only: nested same-name entries are
+                # already inside this interval (the reentrancy fix).
+                self._wall[name] = self._wall.get(name, 0.0) + w1 - w0
+                self._cpu[name] = self._cpu.get(name, 0.0) + c1 - c0
+            if self._rank is not None and _trace.enabled():
+                _trace.record(
+                    name, self._rank, w0, w1, cpu=c1 - c0, cat="phase"
+                )
 
     def wall(self, name: str) -> float:
         """Accumulated wall-clock seconds for phase ``name`` (0 if unseen)."""

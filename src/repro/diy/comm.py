@@ -63,7 +63,8 @@ from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
-from .. import faults
+from .. import faults, observe
+from ..observe import trace as _otrace
 
 __all__ = [
     "Communicator",
@@ -453,7 +454,10 @@ class Communicator:
                 source, tag, self._world.abort, self._world.timeout
             )
         finally:
-            self.stats.recv_wait_s += time.perf_counter() - t0
+            t1 = time.perf_counter()
+            self.stats.recv_wait_s += t1 - t0
+            if _otrace._enabled:
+                _otrace.record("comm-wait", self._rank, t0, t1, cat="comm")
         self.stats.msgs_recv += 1
         self.stats.bytes_recv += _payload_nbytes(payload)
         return payload, src, t
@@ -487,7 +491,10 @@ class Communicator:
         try:
             self._world.barrier_wait()
         finally:
-            self.stats.barrier_wait_s += time.perf_counter() - t0
+            t1 = time.perf_counter()
+            self.stats.barrier_wait_s += t1 - t0
+            if _otrace._enabled:
+                _otrace.record("barrier", self._rank, t0, t1, cat="comm")
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
         """Broadcast ``obj`` from ``root`` along a binomial tree."""
@@ -874,14 +881,35 @@ def run_parallel(
     if backend == "process" and nranks > 1:
         from .process_backend import run_parallel_processes
 
+        if observe.enabled():
+            # Forked ranks record observations into their own copies of
+            # the observe state; the wrapper ships each rank's span
+            # buffer and metrics back with its result for the parent to
+            # merge into the globally-ordered trace.
+            wrapped = run_parallel_processes(
+                nranks,
+                observe.process_worker(func),
+                args,
+                kwargs,
+                recv_timeout=recv_timeout,
+            )
+            return observe.absorb_process_results(wrapped)
         return run_parallel_processes(
             nranks, func, args, kwargs, recv_timeout=recv_timeout
         )
 
     world = _World(nranks, timeout=recv_timeout)
 
+    def call(comm: Communicator) -> Any:
+        result = func(comm, *args, **kwargs)
+        if observe.enabled():
+            # Thread ranks share the observe state; only the region-end
+            # absorption (comm totals, memory high-water) is per rank.
+            observe.rank_finished(comm)
+        return result
+
     if nranks == 1:
-        return [func(Communicator(0, world), *args, **kwargs)]
+        return [call(Communicator(0, world))]
 
     results: list[Any] = [None] * nranks
     errors: list[ParallelError] = []
@@ -889,7 +917,7 @@ def run_parallel(
 
     def runner(rank: int) -> None:
         try:
-            results[rank] = func(Communicator(rank, world), *args, **kwargs)
+            results[rank] = call(Communicator(rank, world))
         except BaseException as exc:  # noqa: BLE001 - must propagate everything
             with errors_lock:
                 errors.append(ParallelError(rank, exc))

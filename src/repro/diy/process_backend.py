@@ -30,7 +30,6 @@ from __future__ import annotations
 
 import os
 import pickle
-import sys
 import threading
 import time
 import traceback
@@ -38,6 +37,7 @@ from collections import defaultdict
 from multiprocessing import connection, get_context
 from typing import Any, Callable
 
+from ..observe import trace as _otrace
 from . import transport
 from .comm import (
     _DEFAULT_TIMEOUT,
@@ -103,7 +103,17 @@ class _ProcessWorld:
         if dest == self.rank:
             self.inbox(dest, coll).put(source, tag, payload)
             return 0
+        t0 = time.perf_counter() if _otrace._enabled else 0.0
         meta, descriptors, shm_bytes = transport.encode_payload(payload, self.pool)
+        if _otrace._enabled and shm_bytes:
+            _otrace.record(
+                "shm-send",
+                self.rank,
+                t0,
+                time.perf_counter(),
+                cat="shm",
+                attrs={"dest": dest, "bytes": shm_bytes},
+            )
         with self._release_lock:
             releases = self._pending_release.pop(dest, [])
         wire = pickle.dumps(

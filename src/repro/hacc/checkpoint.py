@@ -39,6 +39,7 @@ import numpy as np
 
 from ..diy.comm import Communicator, run_parallel
 from ..diy.mpi_io import BlockFileReader, CheckpointError, write_blocks
+from ..observe import trace as _trace
 from .particles import ParticleSet
 from .simulation import HACCSimulation, SimulationConfig
 
@@ -154,10 +155,15 @@ def write_checkpoint(
         return run_parallel(
             1, lambda c: write_checkpoint(path, c, sim, scalar, precision)
         )[0]
-    blob = _encode_block(
-        sim.local, sim.a, sim.step_index, sim.config.np_side, scalar, precision
-    )
-    return write_blocks(path, comm, [(comm.rank, blob)], nblocks_total=comm.size)
+    with _trace.span(
+        "checkpoint", rank=comm.rank, cat="io", step=sim.step_index
+    ):
+        blob = _encode_block(
+            sim.local, sim.a, sim.step_index, sim.config.np_side, scalar, precision
+        )
+        return write_blocks(
+            path, comm, [(comm.rank, blob)], nblocks_total=comm.size
+        )
 
 
 def read_checkpoint_blocks(

@@ -15,9 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .cosmology import LCDM
 from .mesh import cic_deposit, density_contrast
-from .power_spectrum import LinearPowerSpectrum
 
 __all__ = ["MeasuredPower", "measure_power_spectrum"]
 

@@ -28,7 +28,8 @@ from typing import Callable
 
 import numpy as np
 
-from .. import faults
+from .. import faults, observe
+from ..observe import trace as _trace
 from ..diy.bounds import Bounds
 from ..diy.comm import Communicator, run_parallel
 from ..diy.decomposition import Decomposition
@@ -169,17 +170,21 @@ class HACCSimulation:
 
         # Every rank generates the identical realization deterministically
         # and keeps its own block's particles (replicated IC generation).
-        ics = zeldovich_ics(
-            config.np_side,
-            config.cosmo,
-            config.a_init,
-            box=config.box_size,
-            ng=config.mesh_size,
-            seed=config.seed,
-            transfer=config.transfer,
-        )
-        mine = self.decomposition.locate(self._to_mpc(ics.positions)) == self.gid
-        self.local = ics.select(mine)
+        with _trace.span("ic", rank=self.gid, cat="sim"):
+            ics = zeldovich_ics(
+                config.np_side,
+                config.cosmo,
+                config.a_init,
+                box=config.box_size,
+                ng=config.mesh_size,
+                seed=config.seed,
+                transfer=config.transfer,
+            )
+            mine = (
+                self.decomposition.locate(self._to_mpc(ics.positions))
+                == self.gid
+            )
+            self.local = ics.select(mine)
 
     # ------------------------------------------------------------------
     # unit helpers
@@ -219,20 +224,30 @@ class HACCSimulation:
             # Fault-injection seam: may kill this rank entering this step.
             inj.on_step(self.gid, self.step_index + 1)
         t0 = time.perf_counter()
-        self.a = kdk_step(
-            self.local,
-            self.config.mesh_size,
-            self.config.cosmo,
-            self.stepper.a_at(self.step_index),
-            self.stepper.da,
-            deconvolve=self.config.deconvolve,
-            density_callback=self._global_mass_mesh,
-        )
-        self.step_index += 1
-        self._migrate()
+        with _trace.span(
+            "step", rank=self.gid, cat="sim", step=self.step_index + 1
+        ):
+            self.a = kdk_step(
+                self.local,
+                self.config.mesh_size,
+                self.config.cosmo,
+                self.stepper.a_at(self.step_index),
+                self.stepper.da,
+                deconvolve=self.config.deconvolve,
+                density_callback=self._global_mass_mesh,
+            )
+            self.step_index += 1
+            self._migrate()
         self.step_records.append(
             StepRecord(self.step_index, self.a, time.perf_counter() - t0)
         )
+        if observe.enabled():
+            p = self.local
+            observe.registry().gauge(
+                "mem.particle_bytes", rank=self.gid
+            ).set_max(
+                p.positions.nbytes + p.velocities.nbytes + p.ids.nbytes
+            )
 
     def _migrate(self) -> None:
         """Send particles that drifted out of this block to their owners."""
@@ -369,6 +384,8 @@ def run_with_recovery(
             recovery.checkpoints_written += 1
             recovery.checkpoint_bytes += int(nbytes)
             recovery.checkpoint_seconds += time.perf_counter() - t0
+    if observe.enabled():
+        observe.absorb_recovery_stats(recovery, sim.gid)
     return sim
 
 

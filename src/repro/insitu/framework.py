@@ -15,6 +15,7 @@ from typing import Any, Iterator
 
 from ..diy.comm import Communicator, run_parallel
 from ..hacc.simulation import HACCSimulation, SimulationConfig, run_with_recovery
+from ..observe import trace as _trace
 from .config import FrameworkConfig
 from .tools import TOOL_REGISTRY, AnalysisTool
 
@@ -101,7 +102,14 @@ class CosmologyToolsFramework:
                 for name, per_step in self.results.items()
                 if step in per_step
             }
-            result = tool.run(sim, step, a, comm, context=context)
+            with _trace.span(
+                "insitu-tool",
+                rank=comm.rank if comm is not None else 0,
+                cat="insitu",
+                tool=tool.name,
+                step=step,
+            ):
+                result = tool.run(sim, step, a, comm, context=context)
             self.results[tool.name][step] = result
             for callback in self._subscribers.get(tool.name, []):
                 callback(step, a, result)

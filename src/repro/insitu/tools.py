@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
-import numpy as np
 
 from ..analysis.halos import HaloCatalog, fof_halos, fof_halos_distributed
 from ..analysis.statistics import Histogram, histogram

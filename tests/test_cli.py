@@ -4,7 +4,6 @@ import json
 import os
 
 import numpy as np
-import pytest
 
 from repro.cli import sim_main, tess_main
 

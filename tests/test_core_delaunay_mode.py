@@ -42,7 +42,6 @@ class TestParallelDelaunay:
 
     def test_empty_circumsphere_property(self):
         """No particle may lie strictly inside any owned circumsphere."""
-        from repro.geometry.delaunay import circumradii
 
         pts = poisson(200, 8.0, 3)
         domain = Bounds.cube(8.0)

@@ -6,7 +6,6 @@ import pytest
 from repro.diy.comm import (
     ANY_SOURCE,
     ANY_TAG,
-    Communicator,
     ParallelError,
     run_parallel,
 )

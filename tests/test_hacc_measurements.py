@@ -8,7 +8,6 @@ from repro.hacc import (
     LinearPowerSpectrum,
     SimulationConfig,
     measure_power_spectrum,
-    run_simulation,
     zeldovich_ics,
 )
 

@@ -1,6 +1,5 @@
 """Tests for the in situ framework: config parsing, scheduling, tools."""
 
-import numpy as np
 import pytest
 
 from repro.hacc import SimulationConfig

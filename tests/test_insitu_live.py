@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.hacc import HACCSimulation, SimulationConfig
+from repro.hacc import SimulationConfig
 from repro.insitu import CosmologyToolsFramework, FrameworkConfig, ToolConfig
 
 

@@ -1,6 +1,5 @@
 """Tests for the §V in situ tools: void finder, cell statistics, chaining."""
 
-import numpy as np
 import pytest
 
 from repro.hacc import SimulationConfig
