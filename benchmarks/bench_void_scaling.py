@@ -1,0 +1,140 @@
+"""Void-finder scaling: flat-array kernels vs the per-cell dict path.
+
+PR 5 rewrote the threshold + connected-components + volume-accumulation
+pipeline as flat-array kernels (``ArrayUnionFind`` bulk unions over packed
+edge arrays, CSR adjacency masking, ``searchsorted`` + ``np.add.at``
+volume sums).  This bench times the retained dict/per-cell oracle
+(``connected_components_dict`` plus a Python-loop catalog build, the
+pre-PR-5 shape of the code) against the production flat path
+(``connected_components`` + ``find_voids``) on the same tessellation and
+reports the speedup.  The acceptance bar is >= 5x at 32^3 sites; the perf
+gate encodes it as the absolute limit ``voids.flat_over_dict <= 0.2``.
+
+Run directly (``python benchmarks/bench_void_scaling.py [--quick]``) or
+via pytest / the perf gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from conftest import write_report  # noqa: E402
+
+from repro.analysis.components import connected_components_dict
+from repro.analysis.voids import (
+    Void,
+    VoidCatalog,
+    find_voids,
+    volume_threshold_for_fraction,
+)
+from repro.core import tessellate
+from repro.diy.bounds import Bounds
+
+
+def _dict_find_voids(tess, vmin: float) -> VoidCatalog:
+    """The pre-flat void build: dict union-find + per-cell Python loops."""
+    labeling = connected_components_dict(tess, vmin=vmin)
+    label_of = labeling.label_of()
+    volumes: dict[int, float] = {}
+    members: dict[int, list[int]] = {}
+    for block in tess.blocks:
+        for sid, vol in zip(
+            block.site_ids.tolist(), block.volumes.tolist()
+        ):
+            label = label_of.get(int(sid))
+            if label is None:
+                continue
+            volumes[label] = volumes.get(label, 0.0) + vol
+            members.setdefault(label, []).append(int(sid))
+    catalog = VoidCatalog(vmin=float(vmin))
+    for label, sids in members.items():
+        catalog.voids.append(
+            Void(
+                label=label,
+                site_ids=np.array(sorted(sids), dtype=np.int64),
+                volume=volumes[label],
+            )
+        )
+    catalog.voids.sort(key=lambda v: v.volume, reverse=True)
+    return catalog
+
+
+def _time(fn, repeats: int) -> tuple[float, object]:
+    best = np.inf
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def run_bench(quick: bool = True) -> tuple[list[str], dict]:
+    """Time dict vs flat void finding; return (report lines, metrics)."""
+    np_side = 16 if quick else 32
+    repeats = 3 if quick else 2
+    n = np_side**3
+    box = float(np_side)
+    rng = np.random.default_rng(42)
+    pts = rng.uniform(0.0, box, size=(n, 3))
+
+    t0 = time.perf_counter()
+    tess = tessellate(pts, Bounds.cube(box), nblocks=4, ghost=None)
+    tess_s = time.perf_counter() - t0
+    vmin = volume_threshold_for_fraction(tess, 0.1)
+
+    dict_s, dict_catalog = _time(lambda: _dict_find_voids(tess, vmin), repeats)
+    flat_s, flat_catalog = _time(lambda: find_voids(tess, vmin=vmin), repeats)
+
+    # The speedup only counts if both paths agree.
+    assert flat_catalog.num_voids == dict_catalog.num_voids
+    got = sorted(tuple(v.site_ids) for v in flat_catalog.voids)
+    want = sorted(tuple(v.site_ids) for v in dict_catalog.voids)
+    assert got == want, "flat and dict catalogs diverged"
+
+    speedup = dict_s / flat_s if flat_s > 0 else np.inf
+    lines = [
+        f"void-finder scaling: {n} sites ({np_side}^3), "
+        f"{tess.num_cells} cells, best of {repeats}",
+        f"  tessellation:      {tess_s:8.3f} s (untimed setup)",
+        f"  dict/per-cell path {dict_s:8.4f} s",
+        f"  flat-array path    {flat_s:8.4f} s",
+        f"  speedup            {speedup:8.1f}x "
+        f"({flat_catalog.num_voids} voids at vmin={vmin:.4g})",
+    ]
+    data = {
+        "np_side": np_side,
+        "num_cells": tess.num_cells,
+        "num_voids": flat_catalog.num_voids,
+        "dict_s": dict_s,
+        "flat_s": flat_s,
+        "speedup": speedup,
+    }
+    return lines, data
+
+
+def test_void_scaling_quick():
+    """Pytest entry point: quick mode, persisted like the other benches."""
+    lines, data = run_bench(quick=True)
+    write_report("void_scaling", lines)
+    assert data["speedup"] >= 5.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--quick", action="store_true",
+                   help="16^3 sites instead of the acceptance-scale 32^3")
+    args = p.parse_args(argv)
+    lines, _ = run_bench(quick=args.quick)
+    write_report("void_scaling", lines)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,8 @@
 """CI perf-regression gate over the tracked benchmark metrics.
 
 Collects the machine-readable outputs of the backend-scaling sweep
-(:mod:`benchmarks.bench_backend_scaling`) and the trace-overhead bench
+(:mod:`benchmarks.bench_backend_scaling`), the void-finder kernel bench
+(:mod:`benchmarks.bench_void_scaling`), and the trace-overhead bench
 (:mod:`benchmarks.bench_trace_overhead`) plus the process peak RSS into a
 flat ``{metric: value}`` dict, writes it to ``BENCH_pr.json``, and — with
 ``--check`` — compares it against the committed baseline
@@ -45,12 +46,17 @@ DEFAULT_THRESHOLD = 0.25
 #: absolute caps applied on every check, independent of baseline history
 DEFAULT_LIMITS = {
     "trace.overhead_pct": 5.0,
+    # flat void kernels must stay >= 5x faster than the dict/per-cell
+    # oracle (PR 5 acceptance bar): flat_s / dict_s <= 0.2
+    "voids.flat_over_dict": 0.2,
 }
 #: per-metric relative thresholds seeded into a fresh baseline — these
 #: metrics jitter well beyond 25% between identical runs on a shared box
 BASELINE_THRESHOLDS = {
     "trace.disabled_span_ns": 1.0,
     "mem.peak_rss_bytes": 0.5,
+    "voids.dict_s": 0.5,
+    "voids.flat_s": 0.5,
 }
 #: baselines smaller than the floor for their unit are too noisy to gate
 NOISE_FLOORS = (
@@ -72,6 +78,7 @@ def collect(quick: bool = True) -> dict[str, float]:
     """Run the tracked benches; return the flat metrics dict."""
     from bench_backend_scaling import run_sweep
     from bench_trace_overhead import run_bench
+    from bench_void_scaling import run_bench as run_void_bench
 
     from repro.observe import peak_rss_bytes
 
@@ -88,6 +95,11 @@ def collect(quick: bool = True) -> dict[str, float]:
         max(r["shm_bytes_sent"] for r in scaling["runs"]
             if r["backend"] == "process")
     )
+
+    _, voids = run_void_bench(quick=quick)
+    metrics["voids.dict_s"] = voids["dict_s"]
+    metrics["voids.flat_s"] = voids["flat_s"]
+    metrics["voids.flat_over_dict"] = voids["flat_s"] / voids["dict_s"]
 
     _, overhead = run_bench(quick=quick)
     metrics["trace.overhead_pct"] = overhead["overhead_pct"]

@@ -11,9 +11,11 @@ detection, and temporal feature tracking.
 """
 
 from .components import (
+    ArrayUnionFind,
     ComponentLabeling,
     UnionFind,
     connected_components,
+    connected_components_dict,
     connected_components_distributed,
 )
 from .dtfe import dtfe_density, dtfe_grid, voronoi_density
@@ -39,15 +41,23 @@ from .statistics import (
 )
 from .threshold import density_threshold_mask, kept_site_ids, volume_threshold_mask
 from .tracking import FeatureEvent, FeatureTrack, FeatureTree, track_components
-from .voids import Void, VoidCatalog, find_voids, volume_threshold_for_fraction
+from .voids import (
+    Void,
+    VoidCatalog,
+    find_voids,
+    find_voids_distributed,
+    volume_threshold_for_fraction,
+)
 from .render import ascii_render, slice_field, write_pgm
 from .watershed import WatershedResult, watershed_voids
 from .zobov import ZobovResult, Zone, zobov_voids
 
 __all__ = [
+    "ArrayUnionFind",
     "ComponentLabeling",
     "UnionFind",
     "connected_components",
+    "connected_components_dict",
     "connected_components_distributed",
     "dtfe_density",
     "dtfe_grid",
@@ -81,6 +91,7 @@ __all__ = [
     "Void",
     "VoidCatalog",
     "find_voids",
+    "find_voids_distributed",
     "volume_threshold_for_fraction",
     "WatershedResult",
     "watershed_voids",

@@ -5,15 +5,22 @@ same component; components of large-volume cells *are* the voids (paper
 Figure 9).  Face adjacency comes for free from the tess data model: every
 face stores the global particle id of the site across it.
 
-Two implementations:
+Two implementations per path:
 
-* :func:`connected_components` — global union-find over an assembled
-  tessellation (the postprocessing path);
+* :func:`connected_components` — flat-array labeling over an assembled
+  tessellation: edges come from the vectorized
+  :meth:`~repro.core.data_model.VoronoiBlock.adjacency_edges` CSR masking
+  and merge through :class:`ArrayUnionFind` (an int64 parent array with
+  path halving) — no per-cell Python loop anywhere on the hot path.
 * :func:`connected_components_distributed` — the in situ path: each rank
   labels its own block locally, boundary edges (faces whose neighbor cell
-  lives on another rank) are gathered at the root, merged, and the
-  relabeling broadcast — one collective round, independent of component
-  diameter.
+  lives on another rank) travel to the root as packed ``(src, dst)`` int64
+  edge arrays through the tree gather, and the relabeling is broadcast —
+  one collective round, independent of component diameter.
+
+The original dict-based :class:`UnionFind` and the per-cell
+:func:`connected_components_dict` survive as the **test oracle**: the
+parity suite asserts the flat kernels produce identical partitions.
 """
 
 from __future__ import annotations
@@ -22,16 +29,22 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.data_model import VoronoiBlock
+from .. import observe
+from ..core.data_model import VoronoiBlock, isin_sorted
 from ..core.tessellate import Tessellation
 from ..diy.comm import Communicator
 
-__all__ = ["UnionFind", "ComponentLabeling", "connected_components",
+__all__ = ["UnionFind", "ArrayUnionFind", "ComponentLabeling",
+           "connected_components", "connected_components_dict",
            "connected_components_distributed"]
 
 
 class UnionFind:
-    """Union-find over arbitrary hashable keys with path compression."""
+    """Union-find over arbitrary hashable keys with path compression.
+
+    The reference (oracle) implementation; production labeling runs on
+    :class:`ArrayUnionFind`.
+    """
 
     def __init__(self) -> None:
         self._parent: dict = {}
@@ -44,7 +57,12 @@ class UnionFind:
             self._rank[x] = 0
 
     def find(self, x):
-        """Root of ``x`` (must be registered)."""
+        """Root of ``x`` (must be registered via :meth:`add` first)."""
+        if x not in self._parent:
+            raise KeyError(
+                f"id {x!r} is not registered in this UnionFind; "
+                f"call add({x!r}) before find/union"
+            )
         root = x
         while self._parent[root] != root:
             root = self._parent[root]
@@ -77,6 +95,86 @@ class UnionFind:
         for members in out.values():
             members.sort()
         return out
+
+
+class ArrayUnionFind:
+    """Union-find over the dense index range ``[0, n)``.
+
+    State is a single int64 parent array; parents only ever decrease, so
+    the root of every merged set is its minimum member — labels derived
+    from roots are deterministic and decomposition-invariant.  Bulk unions
+    (:meth:`union_edges`) hook roots in vectorized rounds
+    (Shiloach–Vishkin style: every non-minimal root with an incident edge
+    hooks to its smallest root neighbor, then the forest is flattened), so
+    the cost is a few array passes rather than one Python call per edge.
+    """
+
+    def __init__(self, n: int) -> None:
+        self.parent = np.arange(int(n), dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.parent)
+
+    def find(self, i: int) -> int:
+        """Root of ``i``, with path halving."""
+        p = self.parent
+        i = int(i)
+        while p[i] != i:
+            p[i] = p[p[i]]  # path halving
+            i = int(p[i])
+        return i
+
+    def find_many(self, idx: np.ndarray) -> np.ndarray:
+        """Roots of ``idx`` (vectorized pointer jumping; compresses paths)."""
+        idx = np.asarray(idx, dtype=np.int64)
+        p = self.parent
+        root = p[idx]
+        while True:
+            nxt = p[root]
+            if np.array_equal(nxt, root):
+                break
+            root = nxt
+        p[idx] = root  # full compression for the queried nodes
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        """Merge the sets containing ``a`` and ``b``."""
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[max(ra, rb)] = min(ra, rb)
+
+    def union_edges(self, src: np.ndarray, dst: np.ndarray) -> None:
+        """Merge across every edge ``(src[k], dst[k])`` in bulk."""
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if len(src) != len(dst):
+            raise ValueError("src and dst edge arrays must have equal length")
+        p = self.parent
+        while len(src):
+            ra, rb = self.find_many(src), self.find_many(dst)
+            live = ra != rb
+            if not live.any():
+                break
+            src, dst = src[live], dst[live]
+            ra, rb = ra[live], rb[live]
+            # Hook the larger root of each live edge to the smallest
+            # smaller root competing for it, then flatten the forest.
+            np.minimum.at(p, np.maximum(ra, rb), np.minimum(ra, rb))
+            self._flatten()
+
+    def _flatten(self) -> None:
+        p = self.parent
+        while True:
+            gp = p[p]
+            if np.array_equal(gp, p):
+                break
+            np.copyto(p, gp)
+
+    def labels(self) -> np.ndarray:
+        """Dense component label per index, ordered by minimum member."""
+        roots = self.find_many(np.arange(len(self.parent), dtype=np.int64))
+        _, labels = np.unique(roots, return_inverse=True)
+        return labels.astype(np.int64)
 
 
 @dataclass
@@ -131,7 +229,11 @@ def _labeling_from_unionfind(uf: UnionFind) -> ComponentLabeling:
 def _block_edges(
     block: VoronoiBlock, kept: set[int]
 ) -> tuple[list[int], list[tuple[int, int]]]:
-    """Kept cells of a block and their adjacency edges among kept cells."""
+    """Kept cells of a block and their adjacency edges among kept cells.
+
+    Per-cell oracle counterpart of
+    :meth:`~repro.core.data_model.VoronoiBlock.adjacency_edges`.
+    """
     nodes: list[int] = []
     edges: list[tuple[int, int]] = []
     for i in range(block.num_cells):
@@ -146,10 +248,39 @@ def _block_edges(
     return nodes, edges
 
 
+def _empty_labeling() -> ComponentLabeling:
+    return ComponentLabeling(
+        site_ids=np.empty(0, dtype=np.int64), labels=np.empty(0, dtype=np.int64)
+    )
+
+
 def connected_components(
     tess: Tessellation, vmin: float | None = None, vmax: float | None = None
 ) -> ComponentLabeling:
-    """Label components of face-adjacent cells within the volume band."""
+    """Label components of face-adjacent cells within the volume band.
+
+    Flat-array path: one :meth:`adjacency_edges` call per block and one
+    bulk :meth:`ArrayUnionFind.union_edges` per edge batch.
+    """
+    from .threshold import volume_threshold_mask
+
+    with observe.span("components-flat", cat="analysis"):
+        mask = volume_threshold_mask(tess, vmin=vmin, vmax=vmax)
+        kept = np.unique(tess.site_ids()[mask].astype(np.int64, copy=False))
+        if len(kept) == 0:
+            return _empty_labeling()
+        uf = ArrayUnionFind(len(kept))
+        for block in tess.blocks:
+            src, dst = block.adjacency_edges(kept, return_indices=True)
+            if len(src):
+                uf.union_edges(src, dst)
+        return ComponentLabeling(site_ids=kept, labels=uf.labels())
+
+
+def connected_components_dict(
+    tess: Tessellation, vmin: float | None = None, vmax: float | None = None
+) -> ComponentLabeling:
+    """Per-cell dict-based labeling — the oracle for the flat kernels."""
     from .threshold import volume_threshold_mask
 
     mask = volume_threshold_mask(tess, vmin=vmin, vmax=vmax)
@@ -174,59 +305,73 @@ def connected_components_distributed(
     vmin: float | None = None,
     vmax: float | None = None,
 ) -> ComponentLabeling:
-    """In situ labeling: local pass + one boundary merge at the root.
+    """In situ labeling: local flat pass + one boundary merge at the root.
 
     Collective; every rank passes its own block and receives the *global*
     labeling (identical on all ranks).  Cross-block adjacency needs no
     geometry: a face's neighbor id either belongs to a local kept cell or
-    to some other rank's cell, and the root resolves the union graph.
+    to some other rank's cell, and the root resolves the union graph.  The
+    merge traffic is two packed int64 arrays per rank — the kept site ids
+    and the ``(src, dst)`` edge rows (local root links plus unresolved
+    boundary edges) — shipped through the tree gather; no Python tuple
+    lists cross ranks.
     """
-    keep = np.ones(block.num_cells, dtype=bool)
-    if vmin is not None:
-        keep &= block.volumes >= vmin
-    if vmax is not None:
-        keep &= block.volumes <= vmax
-    local_kept = set(block.site_ids[keep].tolist())
+    with observe.span("components-local", rank=comm.rank, cat="analysis"):
+        keep = np.ones(block.num_cells, dtype=bool)
+        if vmin is not None:
+            keep &= block.volumes >= vmin
+        if vmax is not None:
+            keep &= block.volumes <= vmax
+        local_kept = np.unique(block.site_ids[keep].astype(np.int64, copy=False))
 
-    # Local union-find and the boundary edge list.
-    uf = UnionFind()
-    boundary: list[tuple[int, int]] = []
-    for i in np.flatnonzero(keep):
-        sid = int(block.site_ids[i])
-        uf.add(sid)
-        for nb in block.neighbors_of_cell(int(i)):
-            nb = int(nb)
-            if nb < 0:
-                continue
-            if nb in local_kept:
-                uf.add(nb)
-                uf.union(sid, nb)
+        # Every face of a kept cell, as (owner site id, neighbor site id).
+        counts = np.diff(block.cell_face_offsets).astype(np.int64)
+        src = np.repeat(block.site_ids.astype(np.int64, copy=False), counts)
+        dst = block.face_neighbors.astype(np.int64, copy=False)
+        fmask = np.repeat(keep, counts) & (dst >= 0)
+        src, dst = src[fmask], dst[fmask]
+
+        internal = isin_sorted(dst, local_kept)
+        # Local labeling over this block's kept cells.
+        uf = ArrayUnionFind(len(local_kept))
+        uf.union_edges(
+            np.searchsorted(local_kept, src[internal]),
+            np.searchsorted(local_kept, dst[internal]),
+        )
+        if len(local_kept):
+            roots = local_kept[
+                uf.find_many(np.arange(len(local_kept), dtype=np.int64))
+            ]
+            local_links = np.stack([local_kept, roots], axis=1)
+        else:
+            local_links = np.empty((0, 2), dtype=np.int64)
+        # Faces whose neighbor is not locally kept *might* be kept on
+        # another rank — defer the decision to the root.
+        boundary = np.stack([src[~internal], dst[~internal]], axis=1)
+        edges = np.ascontiguousarray(
+            np.concatenate([local_links, boundary]), dtype=np.int64
+        )
+
+    with observe.span("components-merge", rank=comm.rank, cat="analysis"):
+        gathered_nodes = comm.gather(local_kept, root=0)
+        gathered_edges = comm.gather(edges, root=0)
+
+        if comm.rank == 0:
+            all_kept = np.unique(np.concatenate(gathered_nodes))
+            if len(all_kept) == 0:
+                labeling = _empty_labeling()
             else:
-                # Might be a kept cell on another rank — defer to the root.
-                boundary.append((sid, nb))
-
-    local_edges = [(a, uf.find(a)) for a in local_kept]  # local label graph
-    gathered_nodes = comm.gather(sorted(local_kept), root=0)
-    gathered_local = comm.gather(local_edges, root=0)
-    gathered_boundary = comm.gather(boundary, root=0)
-
-    if comm.rank == 0:
-        global_uf = UnionFind()
-        all_kept: set[int] = set()
-        for nodes in gathered_nodes:
-            all_kept.update(nodes)
-        for nodes in gathered_nodes:
-            for sid in nodes:
-                global_uf.add(sid)
-        for edges in gathered_local:
-            for a, root in edges:
-                global_uf.add(root)
-                global_uf.union(a, root)
-        for edges in gathered_boundary:
-            for a, b in edges:
-                if b in all_kept:  # only join cells that actually survived
-                    global_uf.union(a, b)
-        labeling = _labeling_from_unionfind(global_uf)
-    else:
-        labeling = None
-    return comm.bcast(labeling, root=0)
+                merged = np.concatenate(gathered_edges)
+                # Only join cells that actually survived on some rank.
+                merged = merged[isin_sorted(merged[:, 1], all_kept)]
+                guf = ArrayUnionFind(len(all_kept))
+                guf.union_edges(
+                    np.searchsorted(all_kept, merged[:, 0]),
+                    np.searchsorted(all_kept, merged[:, 1]),
+                )
+                labeling = ComponentLabeling(
+                    site_ids=all_kept, labels=guf.labels()
+                )
+        else:
+            labeling = None
+        return comm.bcast(labeling, root=0)

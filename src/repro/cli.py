@@ -53,6 +53,13 @@ def _build_tess_parser() -> argparse.ArgumentParser:
     p.add_argument("--vmax", type=float, default=None, help="maximum cell volume")
     p.add_argument("--no-periodic", action="store_true",
                    help="treat the domain as bounded (boundary cells deleted)")
+    p.add_argument("--voids", action="store_true",
+                   help="run the flat void finder on the result (threshold + "
+                        "connected components) and print the catalog summary")
+    p.add_argument("--voids-vmin-fraction", type=float, default=0.1,
+                   metavar="F",
+                   help="void threshold as a fraction of the cell-volume "
+                        "range (default: 0.1, the paper's rule)")
     p.add_argument("-o", "--output", default=None, help="tess output file")
     p.add_argument("--seed", type=int, default=0, help="seed for --random")
     _add_observe_args(p)
@@ -143,6 +150,14 @@ def tess_main(argv: list[str] | None = None) -> int:
         f"cpu seconds:   exchange {t.exchange_cpu:.4f}  compute "
         f"{t.compute_cpu:.3f}  output {t.output_cpu:.4f}"
     )
+    if args.voids and tess.num_cells:
+        from .analysis.voids import find_voids, volume_threshold_for_fraction
+
+        vmin = volume_threshold_for_fraction(tess, args.voids_vmin_fraction)
+        catalog = find_voids(tess, vmin=vmin)
+        top = ", ".join(f"{v.volume:.4g}" for v in catalog.voids[:3])
+        print(f"voids:         {catalog.num_voids} at vmin={catalog.vmin:.6g}"
+              + (f" (largest volumes: {top})" if catalog.num_voids else ""))
     if args.output:
         print(f"wrote:         {args.output} ({tess.output_bytes} bytes)")
     if observing:

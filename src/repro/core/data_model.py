@@ -28,7 +28,72 @@ import numpy as np
 from ..diy.bounds import Bounds
 from .cell import VoronoiCell
 
-__all__ = ["VoronoiBlock", "BlockSizeReport"]
+__all__ = ["VoronoiBlock", "BlockSizeReport", "connectivity_index_dtype",
+           "index_in_sorted", "isin_sorted"]
+
+#: connectivity arrays stay int32 while their values fit; beyond this the
+#: assembly must widen (silent wraparound otherwise)
+_INT32_LIMIT = np.iinfo(np.int32).max
+
+
+def connectivity_index_dtype(max_value: int) -> np.dtype:
+    """Narrowest safe dtype for connectivity indices up to ``max_value``.
+
+    int32 keeps the paper's ~93%-connectivity byte budget small for every
+    realistic block; blocks whose vertex pool or face-vertex count reaches
+    2**31 entries widen to int64 instead of silently overflowing.
+    """
+    return np.dtype(np.int64 if max_value > _INT32_LIMIT else np.int32)
+
+
+def isin_sorted(values: np.ndarray, sorted_unique: np.ndarray) -> np.ndarray:
+    """Membership mask of ``values`` in a *sorted, unique* int64 array.
+
+    One ``searchsorted`` pass — the vectorized replacement for per-element
+    ``x in set`` checks on the analysis hot paths.
+    """
+    values = np.asarray(values)
+    if len(sorted_unique) == 0:
+        return np.zeros(len(values), dtype=bool)
+    pos = np.searchsorted(sorted_unique, values)
+    pos[pos == len(sorted_unique)] = len(sorted_unique) - 1
+    return sorted_unique[pos] == values
+
+
+def index_in_sorted(
+    values: np.ndarray, sorted_unique: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Positions of ``values`` in a sorted, unique int64 array.
+
+    Returns ``(pos, mask)``: ``pos[k]`` is the index of ``values[k]`` in
+    ``sorted_unique`` wherever ``mask[k]`` is True (0 otherwise, safe for
+    fancy indexing).  Particle ids are usually dense, so when the id span
+    is comparable to the array length an O(1) inverse lookup table
+    replaces the binary search — this is the membership kernel under the
+    component-labeling hot path.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    sorted_unique = np.asarray(sorted_unique, dtype=np.int64)
+    k = len(sorted_unique)
+    if k == 0 or len(values) == 0:
+        return (
+            np.zeros(len(values), dtype=np.int64),
+            np.zeros(len(values), dtype=bool),
+        )
+    lo = int(sorted_unique[0])
+    span = int(sorted_unique[-1]) - lo + 1
+    if span <= max(4 * k, 1 << 16):
+        table = np.full(span, -1, dtype=np.int64)
+        table[sorted_unique - lo] = np.arange(k, dtype=np.int64)
+        pos = table[np.clip(values - lo, 0, span - 1)]
+        mask = (values >= lo) & (values < lo + span) & (pos >= 0)
+        pos[~mask] = 0
+        return pos, mask
+    pos = np.searchsorted(sorted_unique, values)
+    pos[pos == k] = k - 1
+    mask = sorted_unique[pos] == values
+    pos[~mask] = 0
+    return pos, mask
 
 
 @dataclass(frozen=True)
@@ -103,16 +168,19 @@ class VoronoiBlock:
                 face_neighbors.append(int(nb))
             cell_face_offsets.append(len(face_neighbors))
 
+        idx_dtype = connectivity_index_dtype(
+            max(len(face_vertices), len(vertices))
+        )
         return cls(
             gid=gid,
             extents=extents,
             vertices=(
                 np.asarray(vertices) if vertices else np.empty((0, 3))
             ),
-            face_vertices=np.asarray(face_vertices, dtype=np.int32),
-            face_offsets=np.asarray(face_offsets, dtype=np.int32),
+            face_vertices=np.asarray(face_vertices, dtype=idx_dtype),
+            face_offsets=np.asarray(face_offsets, dtype=idx_dtype),
             face_neighbors=np.asarray(face_neighbors, dtype=np.int64),
-            cell_face_offsets=np.asarray(cell_face_offsets, dtype=np.int32),
+            cell_face_offsets=np.asarray(cell_face_offsets, dtype=idx_dtype),
             sites=(
                 np.asarray([c.site for c in cells])
                 if cells
@@ -148,6 +216,44 @@ class VoronoiBlock:
         return self.face_neighbors[
             self.cell_face_offsets[i] : self.cell_face_offsets[i + 1]
         ]
+
+    def adjacency_edges(
+        self, kept_ids: np.ndarray, return_indices: bool = False
+    ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+        """Face-adjacency edges among kept cells, as an ``(n, 2)`` array.
+
+        ``kept_ids`` must be a sorted, unique int64 array of global site
+        ids.  Returns one ``(cell site id, neighbor site id)`` row per
+        face whose owning cell and across-face neighbor are both kept —
+        computed by masking the CSR ``face_neighbors``/``cell_face_offsets``
+        connectivity directly, with no per-cell loop.  The neighbor may
+        live in another block; edges are directed (each shared face inside
+        the block yields both orientations across the two cells' rows).
+
+        With ``return_indices=True`` the result is a ``(src, dst)`` pair
+        of index arrays into ``kept_ids`` instead of site-id rows, saving
+        the caller's re-``searchsorted`` on the labeling hot path.  The
+        owner side is resolved per *cell* before the CSR expansion, so the
+        only face-sized binary search is the neighbor lookup.
+        """
+        kept = np.asarray(kept_ids, dtype=np.int64)
+        sids = self.site_ids.astype(np.int64, copy=False)
+        if len(kept) == 0 or self.num_cells == 0:
+            if return_indices:
+                empty = np.empty(0, dtype=np.int64)
+                return empty, empty.copy()
+            return np.empty((0, 2), dtype=np.int64)
+        cell_pos, cell_in = index_in_sorted(sids, kept)
+        counts = np.diff(self.cell_face_offsets).astype(np.int64)
+        valid = np.repeat(cell_in, counts)
+        dst = self.face_neighbors.astype(np.int64, copy=False)
+        valid &= dst >= 0
+        dst_pos, dst_in = index_in_sorted(dst[valid], kept)
+        src_idx = np.repeat(cell_pos, counts)[valid][dst_in]
+        dst_idx = dst_pos[dst_in]
+        if return_indices:
+            return src_idx, dst_idx
+        return np.stack([kept[src_idx], kept[dst_idx]], axis=1)
 
     def cells(self) -> list[VoronoiCell]:
         """Rebuild per-cell records (copies; for analysis convenience)."""

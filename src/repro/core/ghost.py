@@ -37,6 +37,34 @@ def _translate_particles(
     return positions + translation, ids
 
 
+def _dedup_ghosts(
+    positions: np.ndarray, ids: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Drop duplicate ``(rounded position, id)`` rows, keeping first arrivals.
+
+    The id column stays int64 throughout: building a float key (the old
+    ``np.unique`` row trick) silently collapses distinct ids above 2**53,
+    exactly the production id spaces where collisions corrupt the ghost
+    layer.  A lexsort over the quantized coordinates plus the exact id
+    brings duplicates adjacent; the stable sort keeps the earliest
+    original occurrence of each duplicate run, matching the old
+    first-occurrence semantics bit-for-bit for small ids.
+    """
+    if len(ids) == 0:
+        return positions, ids
+    key = np.round(positions, 9)
+    order = np.lexsort((key[:, 2], key[:, 1], key[:, 0], ids))
+    sorted_key = key[order]
+    sorted_ids = ids[order]
+    dup = np.concatenate([
+        [False],
+        (sorted_ids[1:] == sorted_ids[:-1])
+        & np.all(sorted_key[1:] == sorted_key[:-1], axis=1),
+    ])
+    unique_idx = np.sort(order[~dup])
+    return positions[unique_idx], ids[unique_idx]
+
+
 def exchange_ghost_particles(
     decomposition: Decomposition,
     comm: Communicator,
@@ -107,17 +135,7 @@ def exchange_ghost_particles(
     # reaching the same neighbor directly and through a periodic seam maps
     # to distinct images, but the same image can be delivered twice when
     # grids are tiny).  Deduplicate on (id, translated position).
-    if len(ghost_ids):
-        key = np.round(ghost_pos, 9)
-        _, unique_idx = np.unique(
-            np.concatenate([key, ghost_ids[:, None].astype(float)], axis=1),
-            axis=0,
-            return_index=True,
-        )
-        unique_idx.sort()
-        ghost_pos = ghost_pos[unique_idx]
-        ghost_ids = ghost_ids[unique_idx]
-    return ghost_pos, ghost_ids
+    return _dedup_ghosts(ghost_pos, ghost_ids)
 
 
 def exchange_ghost_particles_multi(
@@ -169,12 +187,5 @@ def exchange_ghost_particles_multi(
             continue
         gpos = np.concatenate([p for _, (p, _) in received])
         gids_arr = np.concatenate([i for _, (_, i) in received])
-        key = np.round(gpos, 9)
-        _, unique_idx = np.unique(
-            np.concatenate([key, gids_arr[:, None].astype(float)], axis=1),
-            axis=0,
-            return_index=True,
-        )
-        unique_idx.sort()
-        out[gid] = (gpos[unique_idx], gids_arr[unique_idx])
+        out[gid] = _dedup_ghosts(gpos, gids_arr)
     return out

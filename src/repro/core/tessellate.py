@@ -33,7 +33,7 @@ from ..geometry.voronoi_cells import voronoi_cells_clip
 from ..geometry.voronoi_qhull import voronoi_cells_qhull
 from .cell import VoronoiCell
 from .culling import exact_cull_mask, passes_early_cull
-from .data_model import VoronoiBlock
+from .data_model import VoronoiBlock, connectivity_index_dtype
 from .ghost import exchange_ghost_particles
 from .timing import PhaseTimer, TessTimings
 
@@ -103,12 +103,17 @@ def _tessellate_block_flat(
     other = np.where(pair[:, 0] == cell_of_face, pair[:, 1], pair[:, 0])
     face_neighbors = local_to_global[other]
 
-    # Compact the vertex pool to the vertices actually used.
+    # Compact the vertex pool to the vertices actually used.  Connectivity
+    # indices stay int32 while they fit and widen to int64 beyond 2**31
+    # entries (silent wraparound otherwise — see connectivity_index_dtype).
     used = np.unique(face_vertices_global)
-    face_vertices = np.searchsorted(used, face_vertices_global).astype(np.int32)
+    idx_dtype = connectivity_index_dtype(
+        max(len(face_vertices_global), len(used))
+    )
+    face_vertices = np.searchsorted(used, face_vertices_global).astype(idx_dtype)
 
-    face_offsets = np.concatenate([[0], np.cumsum(face_lengths)]).astype(np.int32)
-    cell_face_offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.int32)
+    face_offsets = np.concatenate([[0], np.cumsum(face_lengths)]).astype(idx_dtype)
+    cell_face_offsets = np.concatenate([[0], np.cumsum(counts)]).astype(idx_dtype)
 
     return VoronoiBlock(
         gid=gid,

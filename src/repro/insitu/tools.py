@@ -202,11 +202,14 @@ class VoidFinderTool(AnalysisTool):
     """In situ void finding (paper §V: move component labeling in situ).
 
     Consumes the tessellation tool's result when it ran earlier at the same
-    step (list it first in the config); otherwise computes its own
-    distributed tessellation and labels components with the one-collective
-    boundary-merge algorithm.  ``vmin_fraction`` applies the paper's
-    fraction-of-volume-range threshold rule; an absolute ``vmin`` wins if
-    both are set.
+    step (list it first in the config); otherwise tessellates its own block
+    and runs the fully distributed path — component labeling with the
+    one-collective boundary merge plus a vector allreduce of per-void
+    volumes — without ever gathering the global mesh (paper §V's point).
+    ``vmin_fraction`` applies the paper's fraction-of-volume-range
+    threshold rule; an absolute ``vmin`` wins if both are set.  Minkowski
+    functionals need the assembled tessellation, so requesting them falls
+    back to the gather-based path.
     """
 
     ghost: float = 4.0
@@ -225,9 +228,28 @@ class VoidFinderTool(AnalysisTool):
         comm: Communicator | None,
         context: dict[str, Any] | None = None,
     ):
-        from ..analysis.voids import find_voids, volume_threshold_for_fraction
+        from ..analysis.voids import (
+            find_voids,
+            find_voids_distributed,
+            volume_threshold_for_fraction,
+        )
 
         tess = (context or {}).get("tessellation")
+        if tess is None and comm is not None and not self.compute_minkowski:
+            block, _, _ = tessellate_distributed(
+                comm,
+                sim.decomposition,
+                sim.positions_mpc(),
+                sim.local.ids,
+                ghost=self.ghost,
+            )
+            return find_voids_distributed(
+                comm,
+                block,
+                vmin=self.vmin,
+                vmin_fraction=self.vmin_fraction,
+                min_cells=self.min_cells,
+            )
         if tess is None:
             tess = TessellationTool(ghost=self.ghost).run(sim, step, a, comm)
         vmin = self.vmin

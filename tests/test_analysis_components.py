@@ -8,7 +8,9 @@ from repro.diy.comm import run_parallel
 from repro.diy.decomposition import Decomposition
 from repro.core import tessellate, tessellate_distributed
 from repro.analysis.components import (
+    ArrayUnionFind,
     UnionFind,
+    _block_edges,
     connected_components,
     connected_components_distributed,
 )
@@ -51,6 +53,103 @@ class TestUnionFind:
         uf = UnionFind()
         uf.add("x")
         assert "x" in uf and "y" not in uf
+
+    def test_find_unregistered_names_the_id(self):
+        """The error must name the offending id, not be a bare KeyError."""
+        uf = UnionFind()
+        uf.add(1)
+        with pytest.raises(KeyError, match=r"id 977 is not registered"):
+            uf.find(977)
+
+    def test_union_with_unregistered_neighbor_raises(self):
+        """The unregistered-neighbor path the distributed merge guards."""
+        uf = UnionFind()
+        uf.add(5)
+        with pytest.raises(KeyError, match=r"977"):
+            uf.union(5, 977)
+
+
+class TestArrayUnionFind:
+    def test_singletons(self):
+        uf = ArrayUnionFind(4)
+        assert len(uf) == 4
+        assert [uf.find(i) for i in range(4)] == [0, 1, 2, 3]
+        np.testing.assert_array_equal(uf.labels(), [0, 1, 2, 3])
+
+    def test_union_and_find(self):
+        uf = ArrayUnionFind(5)
+        uf.union(0, 1)
+        uf.union(3, 4)
+        uf.union(1, 3)
+        assert uf.find(0) == uf.find(4)
+        assert uf.find(2) != uf.find(0)
+        np.testing.assert_array_equal(uf.labels(), [0, 0, 1, 0, 0])
+
+    def test_root_is_minimum_member(self):
+        uf = ArrayUnionFind(6)
+        uf.union(5, 3)
+        uf.union(3, 1)
+        assert uf.find(5) == 1
+
+    def test_find_many_compresses(self):
+        uf = ArrayUnionFind(8)
+        uf.union_edges(np.arange(7), np.arange(1, 8))  # one chain
+        roots = uf.find_many(np.arange(8))
+        np.testing.assert_array_equal(roots, np.zeros(8, dtype=np.int64))
+        np.testing.assert_array_equal(uf.parent, np.zeros(8, dtype=np.int64))
+
+    def test_union_edges_empty(self):
+        uf = ArrayUnionFind(3)
+        uf.union_edges(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        assert uf.labels().tolist() == [0, 1, 2]
+
+    def test_union_edges_length_mismatch(self):
+        uf = ArrayUnionFind(3)
+        with pytest.raises(ValueError):
+            uf.union_edges(np.array([0]), np.array([1, 2]))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_dict_oracle_on_random_graphs(self, seed):
+        """Bulk vectorized unions == the dict oracle, edge for edge."""
+        rng = np.random.default_rng(seed)
+        n, m = 120, 300
+        src = rng.integers(0, n, size=m)
+        dst = rng.integers(0, n, size=m)
+        auf = ArrayUnionFind(n)
+        auf.union_edges(src, dst)
+        duf = UnionFind()
+        for i in range(n):
+            duf.add(i)
+        for a, b in zip(src.tolist(), dst.tolist()):
+            duf.union(a, b)
+        groups = sorted(tuple(g) for g in duf.groups().values())
+        labels = auf.labels()
+        flat_groups = sorted(
+            tuple(np.flatnonzero(labels == l).tolist())
+            for l in range(int(labels.max()) + 1)
+        )
+        assert flat_groups == groups
+
+
+class TestAdjacencyEdges:
+    @pytest.mark.parametrize("quantile", [0.0, 0.5, 0.9])
+    def test_matches_per_cell_oracle(self, quantile):
+        domain = Bounds.cube(10.0)
+        tess = tessellate(two_cluster_points(9), domain, nblocks=4, ghost=4.0)
+        vmin = float(np.quantile(tess.volumes(), quantile))
+        mask = tess.volumes() >= vmin
+        kept_arr = np.unique(tess.site_ids()[mask])
+        kept_set = set(kept_arr.tolist())
+        for block in tess.blocks:
+            _, oracle_edges = _block_edges(block, kept_set)
+            edges = block.adjacency_edges(kept_arr)
+            assert sorted(map(tuple, edges.tolist())) == sorted(oracle_edges)
+
+    def test_empty_kept(self):
+        domain = Bounds.cube(10.0)
+        tess = tessellate(two_cluster_points(10), domain, nblocks=1, ghost=4.0)
+        edges = tess.blocks[0].adjacency_edges(np.empty(0, dtype=np.int64))
+        assert edges.shape == (0, 2)
 
 
 def two_cluster_points(seed=0):

@@ -1,0 +1,186 @@
+"""Parity suite: dict oracle == flat kernels == distributed labeling.
+
+The flat-array component kernels (`ArrayUnionFind`, `adjacency_edges`,
+the packed-edge distributed merge) must produce partitions identical to
+the per-cell dict oracle — up to label renaming — at 1/2/4 ranks on both
+execution backends, including a void spanning the periodic seam, plus a
+property test over random thresholds.  Also asserts the distributed merge
+ships numpy int64 edge arrays (no pickled tuple lists) with a
+CommStats/bytes check.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.components import (
+    connected_components,
+    connected_components_dict,
+    connected_components_distributed,
+)
+from repro.analysis.voids import find_voids, find_voids_distributed
+from repro.core import tessellate, tessellate_distributed
+from repro.diy.bounds import Bounds
+from repro.diy.comm import run_parallel
+from repro.diy.decomposition import Decomposition
+
+BOX = 10.0
+
+
+def partition(lab):
+    """Canonical form of a labeling: sorted tuple-of-member-tuples."""
+    return sorted(
+        tuple(sorted(int(s) for s in lab.members(l)))
+        for l in range(lab.num_components)
+    )
+
+
+def seam_void_points(seed=11):
+    """Dense background with a sparse strip spanning the periodic x seam.
+
+    The strip's big cells form ONE void that wraps through x=0, so any
+    block decomposition splits it across ranks — the merge must join it
+    back through the periodic boundary edges.
+    """
+    rng = np.random.default_rng(seed)
+    dense = rng.uniform([1.5, 0, 0], [8.5, BOX, BOX], size=(420, 3))
+    strip_lo = rng.uniform([0, 0, 0], [1.5, BOX, BOX], size=(5, 3))
+    strip_hi = rng.uniform([8.5, 0, 0], [BOX, BOX, BOX], size=(5, 3))
+    pts = np.vstack([dense, strip_lo, strip_hi])
+    return np.clip(pts, 1e-3, BOX - 1e-3)
+
+
+@pytest.fixture(scope="module")
+def seam_case():
+    pts = seam_void_points()
+    serial = tessellate(pts, Bounds.cube(BOX), nblocks=1, ghost=4.0)
+    vmin = float(np.quantile(serial.volumes(), 0.9))
+    return pts, serial, vmin
+
+
+class TestSerialFlatParity:
+    def test_matches_dict_oracle_on_seam_void(self, seam_case):
+        pts, serial, vmin = seam_case
+        flat = connected_components(serial, vmin=vmin)
+        oracle = connected_components_dict(serial, vmin=vmin)
+        assert partition(flat) == partition(oracle)
+
+    def test_seam_void_is_one_component(self, seam_case):
+        """The sparse strip wraps through x=0: its cells must merge."""
+        pts, serial, vmin = seam_case
+        flat = connected_components(serial, vmin=vmin)
+        strip_ids = set(range(420, 430))  # the 10 strip particles
+        strip_labels = {
+            int(l)
+            for s, l in zip(flat.site_ids, flat.labels)
+            if int(s) in strip_ids
+        }
+        assert len(strip_labels) == 1
+
+    @pytest.mark.parametrize("nblocks", [2, 4, 8])
+    def test_multiblock_matches_single_block(self, seam_case, nblocks):
+        pts, serial, vmin = seam_case
+        multi = tessellate(pts, Bounds.cube(BOX), nblocks=nblocks, ghost=4.0)
+        assert partition(connected_components(multi, vmin=vmin)) == partition(
+            connected_components(serial, vmin=vmin)
+        )
+
+    @pytest.mark.parametrize("quantile", [0.1, 0.35, 0.6, 0.85])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_property_random_thresholds(self, seed, quantile):
+        """Flat kernels == oracle for random clouds at random thresholds."""
+        rng = np.random.default_rng(seed)
+        pts = rng.uniform(0, BOX, size=(250, 3))
+        tess = tessellate(pts, Bounds.cube(BOX), nblocks=4, ghost=4.0)
+        vmin = float(np.quantile(tess.volumes(), quantile))
+        flat = connected_components(tess, vmin=vmin)
+        oracle = connected_components_dict(tess, vmin=vmin)
+        assert partition(flat) == partition(oracle)
+        np.testing.assert_array_equal(flat.site_ids, oracle.site_ids)
+
+
+def _distributed_worker(comm, pts, ids, decomp, vmin, check_payloads):
+    """One rank: tessellate own block, label distributed, verify traffic."""
+    mine = decomp.locate(pts) == comm.rank
+    block, _, _ = tessellate_distributed(
+        comm, decomp, pts[mine], ids[mine], ghost=4.0
+    )
+
+    payloads = []
+    if check_payloads:
+        orig_gather = comm.gather
+
+        def recording_gather(obj, root=0):
+            payloads.append(obj)
+            return orig_gather(obj, root=root)
+
+        comm.gather = recording_gather
+
+    before = comm.stats.snapshot()
+    labeling = connected_components_distributed(comm, block, vmin=vmin)
+    delta = comm.stats.since(before)
+
+    if check_payloads:
+        comm.gather = orig_gather
+        # The merge must ship packed numpy int64 arrays, never Python
+        # tuple lists (the old per-object path).
+        assert len(payloads) == 2, "expected exactly two gathers (nodes, edges)"
+        nodes, edges = payloads
+        assert isinstance(nodes, np.ndarray) and nodes.dtype == np.int64
+        assert isinstance(edges, np.ndarray) and edges.dtype == np.int64
+        assert edges.ndim == 2 and edges.shape[1] == 2
+        # CommStats: the merge's collective round happened, and every
+        # rank's sent bytes cover at least its own packed arrays (tree
+        # gather forwards subtree bundles, so intermediate ranks send
+        # more, never less; rank counters also include the bcast).
+        assert delta.collective_calls.get("gather") == 2
+        assert delta.collective_calls.get("bcast") == 1
+        if comm.size > 1 and comm.rank != 0:
+            assert delta.bytes_sent >= nodes.nbytes + edges.nbytes
+    return labeling
+
+
+@pytest.mark.parametrize("exec_backend", ["thread", "process"])
+@pytest.mark.parametrize("nranks", [1, 2, 4])
+def test_distributed_matches_oracle(seam_case, nranks, exec_backend):
+    pts, serial, vmin = seam_case
+    ids = np.arange(len(pts), dtype=np.int64)
+    decomp = Decomposition.regular(Bounds.cube(BOX), nranks, periodic=True)
+    ref = partition(connected_components_dict(serial, vmin=vmin))
+
+    labelings = run_parallel(
+        nranks, _distributed_worker, pts, ids, decomp, vmin, True,
+        backend=exec_backend,
+    )
+    for lab in labelings:  # identical on all ranks
+        np.testing.assert_array_equal(lab.site_ids, labelings[0].site_ids)
+        np.testing.assert_array_equal(lab.labels, labelings[0].labels)
+    assert partition(labelings[0]) == ref
+
+
+def _voids_worker(comm, pts, ids, decomp, vmin_fraction):
+    mine = decomp.locate(pts) == comm.rank
+    block, _, _ = tessellate_distributed(
+        comm, decomp, pts[mine], ids[mine], ghost=4.0
+    )
+    return find_voids_distributed(
+        comm, block, vmin_fraction=vmin_fraction, min_cells=2
+    )
+
+
+@pytest.mark.parametrize("exec_backend", ["thread", "process"])
+def test_find_voids_distributed_matches_serial(seam_case, exec_backend):
+    pts, serial, _ = seam_case
+    ids = np.arange(len(pts), dtype=np.int64)
+    decomp = Decomposition.regular(Bounds.cube(BOX), 4, periodic=True)
+    ref = find_voids(serial, min_cells=2)
+
+    catalogs = run_parallel(
+        4, _voids_worker, pts, ids, decomp, 0.1, backend=exec_backend
+    )
+    for catalog in catalogs:
+        assert catalog.vmin == pytest.approx(ref.vmin)
+        assert catalog.num_voids == ref.num_voids
+        got = sorted(tuple(v.site_ids) for v in catalog.voids)
+        want = sorted(tuple(v.site_ids) for v in ref.voids)
+        assert got == want
+        assert catalog.total_volume() == pytest.approx(ref.total_volume())

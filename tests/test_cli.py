@@ -56,6 +56,15 @@ class TestTessCLI:
         kept = int(out.split("cells kept:")[1].split()[0])
         assert kept < 300  # boundary cells deleted
 
+    def test_voids_flag(self, capsys):
+        rc = tess_main(["--random", "400", "--box", "8", "--ghost", "3",
+                        "--voids"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "voids:" in out
+        nvoids = int(out.split("voids:")[1].split()[0])
+        assert nvoids >= 1
+
 
 class TestSimCLI:
     def _deck(self, tmp_path, tools, sim=None):

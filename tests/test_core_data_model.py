@@ -6,7 +6,13 @@ import pytest
 from repro.diy.bounds import Bounds
 from repro.core import tessellate
 from repro.core.cell import VoronoiCell
-from repro.core.data_model import BlockSizeReport, VoronoiBlock
+from repro.core.data_model import (
+    BlockSizeReport,
+    VoronoiBlock,
+    connectivity_index_dtype,
+    index_in_sorted,
+    isin_sorted,
+)
 from repro.geometry.polyhedron import ConvexPolyhedron
 
 
@@ -81,6 +87,90 @@ class TestFromCells:
         assert back.extents == b.extents
         np.testing.assert_array_equal(back.face_vertices, b.face_vertices)
         np.testing.assert_array_equal(back.volumes, b.volumes)
+
+
+class TestConnectivityDtype:
+    def test_small_blocks_stay_int32(self):
+        b = VoronoiBlock.from_cells(0, Bounds.cube(2.0), [cube_cell(7, 0.0)])
+        assert b.face_vertices.dtype == np.int32
+        assert b.face_offsets.dtype == np.int32
+        assert b.cell_face_offsets.dtype == np.int32
+
+    def test_dtype_selection_boundary(self):
+        """int32 holds values up to 2**31 - 1; one past that widens."""
+        assert connectivity_index_dtype(2**31 - 1) == np.int32
+        assert connectivity_index_dtype(2**31) == np.int64
+        assert connectivity_index_dtype(0) == np.int32
+
+    def test_from_arrays_roundtrips_wide_dtype(self):
+        """A block assembled with int64 connectivity must survive the
+        to_arrays/from_arrays cycle without silent renarrowing."""
+        b = VoronoiBlock.from_cells(0, Bounds.cube(2.0), [cube_cell(7, 0.0)])
+        arrays = b.to_arrays()
+        for name in ("face_vertices", "face_offsets", "cell_face_offsets"):
+            arrays[name] = arrays[name].astype(np.int64)
+        back = VoronoiBlock.from_arrays(arrays)
+        assert back.face_vertices.dtype == np.int64
+        assert back.face_offsets.dtype == np.int64
+        assert back.cell_face_offsets.dtype == np.int64
+        again = VoronoiBlock.from_arrays(back.to_arrays())
+        assert again.face_vertices.dtype == np.int64
+
+
+class TestIsinSorted:
+    def test_basic_membership(self):
+        kept = np.array([2, 5, 9], dtype=np.int64)
+        values = np.array([-1, 2, 3, 5, 9, 10], dtype=np.int64)
+        np.testing.assert_array_equal(
+            isin_sorted(values, kept),
+            [False, True, False, True, True, False],
+        )
+
+    def test_empty_sets(self):
+        assert isin_sorted(np.array([1, 2]), np.empty(0, np.int64)).sum() == 0
+        assert len(isin_sorted(np.empty(0, np.int64), np.array([1]))) == 0
+
+
+class TestIndexInSorted:
+    def check(self, values, kept):
+        """Both strategies must agree with the obvious per-element answer."""
+        pos, mask = index_in_sorted(values, kept)
+        lookup = {int(v): i for i, v in enumerate(kept)}
+        for v, p, m in zip(values.tolist(), pos.tolist(), mask.tolist()):
+            assert m == (v in lookup)
+            if m:
+                assert p == lookup[v]
+            else:
+                assert p == 0  # clamped, safe for fancy indexing
+
+    def test_dense_table_branch(self):
+        kept = np.array([3, 4, 6, 9], dtype=np.int64)  # span 7 <= 4 * len
+        values = np.array([-5, 2, 3, 5, 6, 9, 10, 1000], dtype=np.int64)
+        self.check(values, kept)
+
+    def test_sparse_searchsorted_branch(self):
+        kept = np.array([0, 2**40, 2**62], dtype=np.int64)  # huge span
+        values = np.array([-1, 0, 5, 2**40, 2**62, 2**62 + 1], dtype=np.int64)
+        self.check(values, kept)
+
+    def test_branches_agree_randomly(self):
+        rng = np.random.default_rng(0)
+        kept_dense = np.unique(rng.integers(0, 300, size=100))
+        kept_sparse = np.unique(rng.integers(0, 2**60, size=100))
+        for kept in (kept_dense, kept_sparse):
+            lo, hi = int(kept[0]) - 5, int(kept[-1]) + 5
+            values = rng.integers(lo, hi, size=500)
+            values[:50] = rng.choice(kept, size=50)  # guarantee some hits
+            self.check(values, kept)
+            pos, mask = index_in_sorted(values, kept)
+            np.testing.assert_array_equal(mask, isin_sorted(values, kept))
+            np.testing.assert_array_equal(kept[pos[mask]], values[mask])
+
+    def test_empty(self):
+        pos, mask = index_in_sorted(np.array([1, 2]), np.empty(0, np.int64))
+        assert mask.sum() == 0 and len(pos) == 2
+        pos, mask = index_in_sorted(np.empty(0, np.int64), np.array([1]))
+        assert len(pos) == 0 and len(mask) == 0
 
 
 class TestSizeReport:
