@@ -49,6 +49,11 @@ DEFAULT_LIMITS = {
     # flat void kernels must stay >= 5x faster than the dict/per-cell
     # oracle (PR 5 acceptance bar): flat_s / dict_s <= 0.2
     "voids.flat_over_dict": 0.2,
+    # strong scaling must not invert: 4 process ranks must beat 1 on the
+    # critical-path wall (max per-rank CPU + runtime overhead) — the
+    # persistent rank pool + two-level collectives keep overhead below the
+    # per-rank work saved by splitting the domain
+    "scaling.process.r4_over_r1": 1.0,
 }
 #: per-metric relative thresholds seeded into a fresh baseline — these
 #: metrics jitter well beyond 25% between identical runs on a shared box
@@ -88,6 +93,7 @@ def collect(quick: bool = True) -> dict[str, float]:
     for run in scaling["runs"]:
         key = f"scaling.{run['backend']}.r{run['ranks']}"
         metrics[f"{key}.wall_s"] = run["wall_s"]
+        metrics[f"{key}.crit_wall_s"] = run["crit_wall_s"]
         metrics[f"{key}.bytes_sent"] = float(run["bytes_sent"])
         for phase, seconds in run["phase_max_s"].items():
             metrics[f"{key}.{phase}_max_s"] = seconds
@@ -95,6 +101,8 @@ def collect(quick: bool = True) -> dict[str, float]:
         max(r["shm_bytes_sent"] for r in scaling["runs"]
             if r["backend"] == "process")
     )
+    # strong-scaling headline (absolute-capped below 1.0 in DEFAULT_LIMITS)
+    metrics["scaling.process.r4_over_r1"] = scaling["r4_over_r1"]["process"]
 
     _, voids = run_void_bench(quick=quick)
     metrics["voids.dict_s"] = voids["dict_s"]

@@ -102,6 +102,19 @@ def _observe_finish(args) -> None:
     observe.disable()
 
 
+def _release_pool(args) -> None:
+    """Release persistent rank-pool workers at the end of a CLI run.
+
+    The pool amortizes fork cost across the run's parallel regions; once
+    the command is done its workers (and their shm segments) should not
+    outlive the visible work.  An ``atexit`` hook would release them anyway
+    — this just does it at the natural end of the run."""
+    if getattr(args, "exec_backend", None) == "process":
+        from .diy.process_backend import shutdown_pool
+
+        shutdown_pool()
+
+
 def tess_main(argv: list[str] | None = None) -> int:
     """Entry point for ``repro-tess``; returns a process exit code."""
     args = _build_tess_parser().parse_args(argv)
@@ -162,6 +175,7 @@ def tess_main(argv: list[str] | None = None) -> int:
         print(f"wrote:         {args.output} ({tess.output_bytes} bytes)")
     if observing:
         _observe_finish(args)
+    _release_pool(args)
     return 0
 
 
@@ -266,6 +280,7 @@ def sim_main(argv: list[str] | None = None) -> int:
             print(f"[{tool} @ step {step}] {_describe(result)}")
     if observing:
         _observe_finish(args)
+    _release_pool(args)
     return 0
 
 

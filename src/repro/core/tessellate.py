@@ -401,27 +401,24 @@ def tessellate(
 
     decomp = Decomposition.regular(domain, nblocks, periodic=periodic)
     nranks = nblocks if nranks is None else nranks
-    if nranks == nblocks:
-        def worker(comm: Communicator):
-            mine = decomp.locate(pts) == comm.rank
-            block, timings, nbytes = tessellate_distributed(
-                comm,
-                decomp,
-                pts[mine],
-                pid[mine],
-                ghost=ghost,
-                backend=backend,
-                vmin=vmin,
-                vmax=vmax,
-                output_path=output_path,
-            )
-            return [block], timings, nbytes
-    else:
-        worker = _multi_block_worker(
-            decomp, nranks, pts, pid, ghost, backend, vmin, vmax, output_path
-        )
-
-    results = run_parallel(nranks, worker, backend=exec_backend)
+    # Module-level workers + plain-data arguments: the whole task pickles,
+    # so the process backend can lease persistent pool workers instead of
+    # falling back to a fresh fork per call.
+    worker = _single_block_worker if nranks == nblocks else _multi_block_worker
+    results = run_parallel(
+        nranks,
+        worker,
+        decomp,
+        nranks,
+        pts,
+        pid,
+        ghost,
+        backend,
+        vmin,
+        vmax,
+        output_path,
+        backend=exec_backend,
+    )
     blocks = sorted(
         (b for local_blocks, _, _ in results for b in local_blocks),
         key=lambda b: b.gid,
@@ -437,7 +434,8 @@ def tessellate(
     )
 
 
-def _multi_block_worker(
+def _single_block_worker(
+    comm: Communicator,
     decomp: Decomposition,
     nranks: int,
     pts: np.ndarray,
@@ -448,55 +446,81 @@ def _multi_block_worker(
     vmax: float | None,
     output_path: str | None,
 ):
-    """Worker handling several blocks per rank (round-robin assignment)."""
+    """Rank worker for the one-block-per-rank configuration (picklable)."""
+    mine = decomp.locate(pts) == comm.rank
+    block, timings, nbytes = tessellate_distributed(
+        comm,
+        decomp,
+        pts[mine],
+        pid[mine],
+        ghost=ghost,
+        backend=backend,
+        vmin=vmin,
+        vmax=vmax,
+        output_path=output_path,
+    )
+    return [block], timings, nbytes
+
+
+def _multi_block_worker(
+    comm: Communicator,
+    decomp: Decomposition,
+    nranks: int,
+    pts: np.ndarray,
+    pid: np.ndarray,
+    ghost: float,
+    backend: str,
+    vmin: float | None,
+    vmax: float | None,
+    output_path: str | None,
+):
+    """Rank worker handling several blocks per rank (round-robin,
+    DIY-style).  Module-level and argument-driven so the task pickles and
+    the persistent rank pool can serve it."""
     from ..diy.exchange import Assignment
     from .ghost import exchange_ghost_particles_multi
 
     assignment = Assignment(decomp.nblocks, nranks)
     owners = decomp.locate(pts)
-
-    def worker(comm: Communicator):
-        timer = PhaseTimer(rank=comm.rank)
-        stats0 = comm.stats.snapshot()
-        gids = assignment.gids_of(comm.rank)
-        particles_by_gid = {
-            gid: (pts[owners == gid], pid[owners == gid]) for gid in gids
-        }
-        with timer.phase("exchange"):
-            ghosts = exchange_ghost_particles_multi(
-                decomp, comm, assignment, particles_by_gid, ghost
-            )
-        local_blocks = []
-        with timer.phase("compute"):
-            for gid in gids:
-                own_pos, own_ids = particles_by_gid[gid]
-                gpos, gid_ids = ghosts[gid]
-                block_def = decomp.block(gid)
-                if backend == "qhull":
-                    block = _tessellate_block_flat(
-                        np.atleast_2d(own_pos), own_ids, gpos, gid_ids,
-                        container=block_def.ghost_bounds(ghost),
-                        gid=gid, extents=block_def.core,
-                        vmin=vmin, vmax=vmax,
-                    )
-                else:
-                    cells = tessellate_block(
-                        own_pos, own_ids, gpos, gid_ids,
-                        container=block_def.ghost_bounds(ghost),
-                        backend=backend, vmin=vmin, vmax=vmax,
-                    )
-                    block = VoronoiBlock.from_cells(gid, block_def.core, cells)
-                local_blocks.append(block)
-        nbytes = 0
-        with timer.phase("output"):
-            if output_path is not None:
-                from ..diy.mpi_io import write_blocks
-                from .tess_io import _payload
-
-                blobs = [(b.gid, _payload(b, decomp.domain)) for b in local_blocks]
-                nbytes = write_blocks(
-                    output_path, comm, blobs, nblocks_total=decomp.nblocks
+    timer = PhaseTimer(rank=comm.rank)
+    stats0 = comm.stats.snapshot()
+    gids = assignment.gids_of(comm.rank)
+    particles_by_gid = {
+        gid: (pts[owners == gid], pid[owners == gid]) for gid in gids
+    }
+    with timer.phase("exchange"):
+        ghosts = exchange_ghost_particles_multi(
+            decomp, comm, assignment, particles_by_gid, ghost
+        )
+    local_blocks = []
+    with timer.phase("compute"):
+        for gid in gids:
+            own_pos, own_ids = particles_by_gid[gid]
+            gpos, gid_ids = ghosts[gid]
+            block_def = decomp.block(gid)
+            if backend == "qhull":
+                block = _tessellate_block_flat(
+                    np.atleast_2d(own_pos), own_ids, gpos, gid_ids,
+                    container=block_def.ghost_bounds(ghost),
+                    gid=gid, extents=block_def.core,
+                    vmin=vmin, vmax=vmax,
                 )
-        return local_blocks, _timings_with_comm(timer, comm, stats0), nbytes
+            else:
+                cells = tessellate_block(
+                    own_pos, own_ids, gpos, gid_ids,
+                    container=block_def.ghost_bounds(ghost),
+                    backend=backend, vmin=vmin, vmax=vmax,
+                )
+                block = VoronoiBlock.from_cells(gid, block_def.core, cells)
+            local_blocks.append(block)
+    nbytes = 0
+    with timer.phase("output"):
+        if output_path is not None:
+            from ..diy.mpi_io import write_blocks
+            from .tess_io import _payload
 
-    return worker
+            blobs = [(b.gid, _payload(b, decomp.domain)) for b in local_blocks]
+            nbytes = write_blocks(
+                output_path, comm, blobs, nblocks_total=decomp.nblocks
+            )
+    return local_blocks, _timings_with_comm(timer, comm, stats0), nbytes

@@ -21,7 +21,9 @@ from .comm import (
 from .decomposition import Block, Decomposition, NeighborLink, factor_into_grid
 from .exchange import Assignment, NeighborExchanger
 from .mpi_io import BlockFileReader, pack_arrays, unpack_arrays, write_blocks
+from .process_backend import RankDiedError, pool_enabled, shutdown_pool
 from .reduction import tree_allreduce, tree_reduce
+from .transport import CommError
 
 __all__ = [
     "Bounds",
@@ -47,4 +49,8 @@ __all__ = [
     "write_blocks",
     "tree_allreduce",
     "tree_reduce",
+    "RankDiedError",
+    "CommError",
+    "pool_enabled",
+    "shutdown_pool",
 ]

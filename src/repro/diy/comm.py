@@ -55,6 +55,7 @@ Design notes
 from __future__ import annotations
 
 import operator
+import os
 import threading
 import time
 from collections import deque
@@ -80,6 +81,40 @@ ANY_SOURCE = -1
 ANY_TAG = -1
 
 _DEFAULT_TIMEOUT = 300.0  # seconds; a deadlocked test should fail, not hang
+
+
+def _coll_group_size(size: int) -> int:
+    """Group width for the two-level (topology-aware) collectives.
+
+    Ranks are partitioned into contiguous groups of this many; each group's
+    lowest rank is its *leader*.  Rooted collectives then run in two phases
+    — intra-group to the leader, inter-leader to the root — the way
+    chainermn's node-aware communicators split intra-/inter-node traffic.
+    The result is the same O(log P) total depth with a bounded fan-in at
+    every rank and far fewer messages crossing the leader (inter-"node")
+    level, which is what matters once leaders ride a slower transport.
+
+    ``REPRO_COLL_GROUP`` overrides (clamped to ``[1, size]``; 1 disables
+    grouping).  The default picks the largest power of two <= sqrt(size) so
+    intra and inter trees stay balanced, and disables grouping below four
+    ranks where there is nothing to amortize.  Depends only on ``size`` —
+    never on the backend — so thread and process runs stay message-count
+    identical (the parity suites assert this).
+    """
+    env = os.environ.get("REPRO_COLL_GROUP", "").strip()
+    if env:
+        try:
+            g = int(env)
+        except ValueError:
+            g = 0
+        if g >= 1:
+            return min(g, size)
+    if size < 4:
+        return 1
+    g = 1
+    while g * g <= size:
+        g <<= 1
+    return g >> 1
 
 
 def _payload_nbytes(obj: Any, _depth: int = 0) -> int:
@@ -138,6 +173,9 @@ class CommStats:
     shm_msgs_sent: int = 0
     #: payload bytes moved through shared-memory segments
     shm_bytes_sent: int = 0
+    #: extra pipe frames used by chunked large-message framing (process
+    #: backend only; a send above the chunk limit counts its chunk frames)
+    chunk_frames_sent: int = 0
     #: user p2p messages dropped / delayed by fault injection (repro.faults)
     msgs_dropped: int = 0
     msgs_delayed: int = 0
@@ -160,6 +198,7 @@ class CommStats:
             barrier_wait_s=self.barrier_wait_s,
             shm_msgs_sent=self.shm_msgs_sent,
             shm_bytes_sent=self.shm_bytes_sent,
+            chunk_frames_sent=self.chunk_frames_sent,
             msgs_dropped=self.msgs_dropped,
             msgs_delayed=self.msgs_delayed,
             collective_calls=dict(self.collective_calls),
@@ -181,6 +220,7 @@ class CommStats:
             barrier_wait_s=self.barrier_wait_s - baseline.barrier_wait_s,
             shm_msgs_sent=self.shm_msgs_sent - baseline.shm_msgs_sent,
             shm_bytes_sent=self.shm_bytes_sent - baseline.shm_bytes_sent,
+            chunk_frames_sent=self.chunk_frames_sent - baseline.chunk_frames_sent,
             msgs_dropped=self.msgs_dropped - baseline.msgs_dropped,
             msgs_delayed=self.msgs_delayed - baseline.msgs_delayed,
             collective_calls=calls,
@@ -197,6 +237,7 @@ class CommStats:
             "barrier_wait_s": self.barrier_wait_s,
             "shm_msgs_sent": self.shm_msgs_sent,
             "shm_bytes_sent": self.shm_bytes_sent,
+            "chunk_frames_sent": self.chunk_frames_sent,
             "msgs_dropped": self.msgs_dropped,
             "msgs_delayed": self.msgs_delayed,
             "collective_calls": dict(self.collective_calls),
@@ -289,6 +330,13 @@ class _Mailbox:
                         f"{timeout}s — likely deadlock"
                     )
 
+    def clear(self) -> None:
+        """Drop every queued message (between pooled tasks: a finished
+        region's unconsumed payloads must not leak into the next one)."""
+        with self.lock:
+            self.queues.clear()
+            self.arrivals.clear()
+
     def _match(self, source: int, tag: int) -> tuple[int, int] | None:
         if source != ANY_SOURCE and tag != ANY_TAG:
             key = (source, tag)
@@ -335,6 +383,7 @@ class _World:
     def __init__(self, size: int, timeout: float | None = None):
         self.size = size
         self.timeout = _DEFAULT_TIMEOUT if timeout is None else float(timeout)
+        self.coll_group = _coll_group_size(size)
         # User point-to-point traffic and internal collective traffic live in
         # disjoint mailbox channels: a wildcard user receive scans only the
         # user channel, so it can never intercept collective messages.
@@ -345,12 +394,15 @@ class _World:
 
     def deliver(
         self, dest: int, source: int, tag: int, payload: Any, coll: bool = False
-    ) -> int:
-        """Hand ``payload`` to ``dest``'s mailbox (by reference; 0 shm bytes)."""
+    ) -> tuple[int, int]:
+        """Hand ``payload`` to ``dest``'s mailbox (by reference).
+
+        Returns ``(shm_bytes, chunk_frames)`` like the process backend's
+        transport — both always 0 here."""
         (self.coll_mailboxes if coll else self.mailboxes)[dest].put(
             source, tag, payload
         )
-        return 0
+        return 0, 0
 
     def inbox(self, rank: int, coll: bool) -> _Mailbox:
         """The mailbox ``rank`` receives on for the given channel."""
@@ -422,10 +474,11 @@ class Communicator:
                 time.sleep(float(action))
         self.stats.msgs_sent += 1
         self.stats.bytes_sent += _payload_nbytes(obj)
-        shm = self._world.deliver(dest, self._rank, tag, obj, coll=False)
+        shm, frames = self._world.deliver(dest, self._rank, tag, obj, coll=False)
         if shm:
             self.stats.shm_msgs_sent += 1
             self.stats.shm_bytes_sent += shm
+        self.stats.chunk_frames_sent += frames
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
         """Nonblocking send; returns a completed :class:`Request`."""
@@ -465,12 +518,19 @@ class Communicator:
     # internal collective channel -------------------------------------
     def _coll_send(self, obj: Any, dest: int, tag: int) -> None:
         self._check_rank(dest)
+        if isinstance(obj, np.ndarray) and not obj.flags["C_CONTIGUOUS"]:
+            # Pack before shipping: collective payloads are combined and
+            # re-sent up the tree, so one contiguous buffer here means the
+            # transport sees a single zero-copy block instead of a strided
+            # pickle walk (and shm descriptors stay one-per-array).
+            obj = np.ascontiguousarray(obj)
         self.stats.msgs_sent += 1
         self.stats.bytes_sent += _payload_nbytes(obj)
-        shm = self._world.deliver(dest, self._rank, tag, obj, coll=True)
+        shm, frames = self._world.deliver(dest, self._rank, tag, obj, coll=True)
         if shm:
             self.stats.shm_msgs_sent += 1
             self.stats.shm_bytes_sent += shm
+        self.stats.chunk_frames_sent += frames
 
     def _coll_recv(self, source: int, tag: int) -> Any:
         payload, _, _ = self._timed_get(
@@ -480,6 +540,85 @@ class Communicator:
 
     def _coll_recv_with_status(self, source: int, tag: int) -> tuple[Any, int, int]:
         return self._timed_get(self._world.inbox(self._rank, coll=True), source, tag)
+
+    # ------------------------------------------------------------------
+    # two-level topology helpers
+    # ------------------------------------------------------------------
+    def _two_level(self) -> tuple[list[int], int, list[int], int | None] | None:
+        """Group structure for hierarchical collectives, or ``None`` (flat).
+
+        Ranks are split into contiguous groups of ``world.coll_group``; the
+        lowest rank of each group is its leader.  Returns ``(group_ranks,
+        my_position_in_group, leader_ranks, my_position_among_leaders)``
+        with the last item ``None`` on non-leader ranks.  Contiguity is what
+        keeps non-commutative reductions exact: group partials combine in
+        rank order inside each group, and leader partials combine in group
+        order, so the overall association is a rank-ordered fold.
+        """
+        g = getattr(self._world, "coll_group", 1)
+        size = self.size
+        if g <= 1 or g >= size:
+            return None
+        lo = (self._rank // g) * g
+        group = list(range(lo, min(lo + g, size)))
+        leaders = list(range(0, size, g))
+        lpos = lo // g if self._rank == lo else None
+        return group, self._rank - lo, leaders, lpos
+
+    def _bcast_list(
+        self, obj: Any, ranks: list[int], mypos: int, rootpos: int, tag: int
+    ) -> Any:
+        """Binomial broadcast over an ordered rank list (positions virtual)."""
+        n = len(ranks)
+        if n == 1:
+            return obj
+        v = (mypos - rootpos) % n
+        if v != 0:
+            hb = 1 << (v.bit_length() - 1)  # highest set bit: parent link
+            obj = self._coll_recv(ranks[(v - hb + rootpos) % n], tag)
+        k = 1 << v.bit_length()
+        while v + k < n:
+            self._coll_send(obj, ranks[(v + k + rootpos) % n], tag)
+            k <<= 1
+        return obj
+
+    def _reduce_list(
+        self, obj: Any, op: Callable[[Any, Any], Any],
+        ranks: list[int], mypos: int, tag: int,
+    ) -> Any | None:
+        """Binomial reduce to ``ranks[0]``, combining in list order (so a
+        contiguous rank list folds in rank order — non-commutative safe)."""
+        n = len(ranks)
+        acc = obj
+        stride = 1
+        while stride < n:
+            if mypos % (2 * stride) == stride:
+                self._coll_send(acc, ranks[mypos - stride], tag)
+                return None
+            if mypos % (2 * stride) == 0:
+                partner = mypos + stride
+                if partner < n:
+                    # Lower position on the left: preserves list order.
+                    acc = op(acc, self._coll_recv(ranks[partner], tag))
+            stride <<= 1
+        return acc
+
+    def _gather_list(
+        self, items: dict[int, Any], ranks: list[int], mypos: int, tag: int
+    ) -> dict[int, Any] | None:
+        """Binomial gather of ``{global_rank: obj}`` dicts at ``ranks[0]``."""
+        n = len(ranks)
+        subtree = dict(items)
+        k = 1
+        while k < n:
+            if mypos & k:
+                self._coll_send(subtree, ranks[mypos - k], tag)
+                return None
+            child = mypos + k
+            if child < n:
+                subtree.update(self._coll_recv(ranks[child], tag))
+            k <<= 1
+        return subtree
 
     # ------------------------------------------------------------------
     # collectives (tree algorithms)
@@ -497,11 +636,27 @@ class Communicator:
                 _otrace.record("barrier", self._rank, t0, t1, cat="comm")
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
-        """Broadcast ``obj`` from ``root`` along a binomial tree."""
+        """Broadcast ``obj`` from ``root``.
+
+        Two-level when the world is grouped (root → leaders → group
+        members, binomial at each level); flat binomial tree otherwise."""
         self._check_rank(root)
         self._count("bcast")
         tag = self._next_coll_tag()
-        return self._bcast_impl(obj, root, tag)
+        tl = self._two_level()
+        if tl is None:
+            return self._bcast_impl(obj, root, tag)
+        group, gpos, leaders, lpos = tl
+        if root != 0:
+            # One forward hop puts the payload at the global leader; the
+            # hierarchical fan-out below is root-agnostic.
+            if self._rank == root:
+                self._coll_send(obj, 0, tag)
+            if self._rank == 0:
+                obj = self._coll_recv(root, tag)
+        if lpos is not None:
+            obj = self._bcast_list(obj, leaders, lpos, 0, tag + 1)
+        return self._bcast_list(obj, group, gpos, 0, tag + 2)
 
     def _bcast_impl(self, obj: Any, root: int, tag: int) -> Any:
         size, rank = self.size, self._rank
@@ -521,26 +676,43 @@ class Communicator:
     def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
         """Gather one object per rank at ``root`` (rank order); None elsewhere.
 
-        Binomial tree: each rank forwards its merged subtree once, so the
-        root receives ceil(log2 P) bundles instead of P-1 messages."""
+        Two-level when the world is grouped (members → leader, leaders →
+        rank 0, one forward to ``root``); flat binomial tree otherwise.
+        Either way each rank forwards its merged subtree once, so no rank
+        receives more than O(log P) bundles."""
         self._check_rank(root)
         self._count("gather")
         tag = self._next_coll_tag()
         size, rank = self.size, self._rank
         if size == 1:
             return [obj]
-        vrank = (rank - root) % size
-        subtree: dict[int, Any] = {vrank: obj}
-        k = 1
-        while k < size:
-            if vrank & k:
-                self._coll_send(subtree, (vrank - k + root) % size, tag)
-                return None
-            child = vrank + k
-            if child < size:
-                subtree.update(self._coll_recv((child + root) % size, tag))
-            k <<= 1
-        return [subtree[(r - root) % size] for r in range(size)]
+        tl = self._two_level()
+        if tl is None:
+            vrank = (rank - root) % size
+            subtree: dict[int, Any] = {vrank: obj}
+            k = 1
+            while k < size:
+                if vrank & k:
+                    self._coll_send(subtree, (vrank - k + root) % size, tag)
+                    return None
+                child = vrank + k
+                if child < size:
+                    subtree.update(self._coll_recv((child + root) % size, tag))
+                k <<= 1
+            return [subtree[(r - root) % size] for r in range(size)]
+        group, gpos, leaders, lpos = tl
+        merged = self._gather_list({rank: obj}, group, gpos, tag)
+        if lpos is not None:
+            merged = self._gather_list(merged, leaders, lpos, tag + 1)
+        if rank == 0:
+            out = [merged[r] for r in range(size)]
+            if root == 0:
+                return out
+            self._coll_send(out, root, tag + 2)
+            return None
+        if rank == root:
+            return self._coll_recv(0, tag + 2)
+        return None
 
     def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
         """Scatter ``size`` objects from ``root``; each rank returns its item.
@@ -587,14 +759,29 @@ class Communicator:
     ) -> Any | None:
         """Reduce one contribution per rank to ``root`` with ``op`` (default +).
 
-        Binomial tree rooted at rank 0 (combining in rank order, so
-        non-commutative ops are safe); for another root the result is
-        forwarded with one extra message."""
+        Two-level when the world is grouped — members fold to their leader,
+        leaders fold to rank 0, both in rank order so non-commutative ops
+        stay exact; flat binomial tree otherwise.  For a nonzero root the
+        result is forwarded with one extra message."""
         self._check_rank(root)
         self._count("reduce")
         op = op or operator.add
         tag = self._next_coll_tag()
-        return self._reduce_impl(obj, op, root, tag)
+        tl = self._two_level()
+        if tl is None:
+            return self._reduce_impl(obj, op, root, tag)
+        group, gpos, leaders, lpos = tl
+        acc = self._reduce_list(obj, op, group, gpos, tag)
+        if lpos is not None:
+            acc = self._reduce_list(acc, op, leaders, lpos, tag + 1)
+        if root == 0:
+            return acc if self._rank == 0 else None
+        if self._rank == 0:
+            self._coll_send(acc, root, tag + 2)
+            return None
+        if self._rank == root:
+            return self._coll_recv(0, tag + 2)
+        return None
 
     def _reduce_impl(
         self, obj: Any, op: Callable[[Any, Any], Any], root: int, tag: int
@@ -625,29 +812,52 @@ class Communicator:
     def allreduce(self, obj: Any, op: Callable[[Any, Any], Any] = None) -> Any:
         """Reduce with ``op`` (default +); every rank gets the result.
 
-        Recursive doubling (log2 P rounds) when the size is a power of two;
-        otherwise a binomial reduce to rank 0 plus a binomial broadcast —
-        both O(log P) messages per rank, both rank-order safe."""
+        Two-level when the world is grouped: members fold to their leader,
+        leaders allreduce among themselves (recursive doubling when their
+        count is a power of two), and each leader broadcasts back down its
+        group — the chainermn node-aware shape.  Flat worlds use recursive
+        doubling (power-of-two sizes) or binomial reduce + broadcast.  All
+        paths combine in rank order, so non-commutative ops stay exact."""
         self._count("allreduce")
         op = op or operator.add
         tag = self._next_coll_tag()
         rank, size = self._rank, self.size
         if size == 1:
             return obj
-        if size & (size - 1) == 0:  # power of two: recursive doubling
-            acc = obj
-            k = 1
-            rnd = 0
-            while k < size:
-                partner = rank ^ k
-                self._coll_send(acc, partner, tag + rnd)
-                other = self._coll_recv(partner, tag + rnd)
-                acc = op(acc, other) if partner > rank else op(other, acc)
-                k <<= 1
-                rnd += 1
-            return acc
-        result = self._reduce_impl(obj, op, 0, tag)
-        return self._bcast_impl(result, 0, tag + 32)
+        tl = self._two_level()
+        if tl is None:
+            if size & (size - 1) == 0:  # power of two: recursive doubling
+                acc = obj
+                k = 1
+                rnd = 0
+                while k < size:
+                    partner = rank ^ k
+                    self._coll_send(acc, partner, tag + rnd)
+                    other = self._coll_recv(partner, tag + rnd)
+                    acc = op(acc, other) if partner > rank else op(other, acc)
+                    k <<= 1
+                    rnd += 1
+                return acc
+            result = self._reduce_impl(obj, op, 0, tag)
+            return self._bcast_impl(result, 0, tag + 32)
+        group, gpos, leaders, lpos = tl
+        acc = self._reduce_list(obj, op, group, gpos, tag)
+        if lpos is not None:
+            nl = len(leaders)
+            if nl & (nl - 1) == 0:  # recursive doubling among leaders
+                k = 1
+                rnd = 1
+                while k < nl:
+                    ppos = lpos ^ k
+                    self._coll_send(acc, leaders[ppos], tag + rnd)
+                    other = self._coll_recv(leaders[ppos], tag + rnd)
+                    acc = op(acc, other) if ppos > lpos else op(other, acc)
+                    k <<= 1
+                    rnd += 1
+            else:
+                acc = self._reduce_list(acc, op, leaders, lpos, tag + 1)
+                acc = self._bcast_list(acc, leaders, lpos, 0, tag + 2)
+        return self._bcast_list(acc, group, gpos, 0, tag + 33)
 
     def allgather(self, obj: Any) -> list[Any]:
         """Gather one object per rank at every rank.

@@ -17,17 +17,45 @@ transport:
   (see :mod:`repro.diy.transport`);
 * segment names released by receivers piggyback on subsequent messages
   back to the owning rank, whose pool recycles them;
-* workers are **forked**, so the worker function, its closures, and every
-  argument are inherited by reference — only *results* (and exceptions)
-  cross back to the parent, over per-rank result pipes.
+* a single logical message may exceed the ~2 GiB pipe frame cap — the
+  transport splits it into chunk frames transparently
+  (:func:`repro.diy.transport.send_message`).
+
+Execution comes in two flavors:
+
+**Persistent rank pool (default).**  The first ``run_parallel`` at a given
+rank count forks a :class:`RankPool` whose workers — and their pooled shm
+segments, attached-mapping caches, and pipe mesh — stay alive across
+parallel regions.  Subsequent runs *lease* the pool: the worker function
+and arguments are pickled down per-rank task pipes, results come back over
+per-rank result pipes, and a flush round quiesces the data pipes between
+tasks so no message from one region can leak into the next.  Fault
+injection composes: the active :class:`~repro.faults.FaultSpec` ships with
+each task (pool workers forked long ago cannot inherit it).  Any failed
+run — a raising rank, a dead process, a deadlock — *invalidates* the pool
+(workers are torn down, their ``/dev/shm`` segments swept by name prefix)
+and the next run forks a fresh one.  ``REPRO_POOL=0`` disables pooling;
+:func:`shutdown_pool` (also registered ``atexit``) releases the workers
+explicitly.
+
+**Fresh fork (fallback).**  Tasks whose function or arguments don't pickle
+(closures over live objects) transparently fall back to the original
+fork-per-region path, where everything is inherited by reference and only
+results cross back.
 
 Failure semantics mirror the thread backend: the first raising rank aborts
 the region (a shared event plus a broken barrier wake the peers) and the
 parent re-raises a :class:`~repro.diy.comm.ParallelError` naming that rank.
+A rank that dies without a result (crash, ``os._exit``, OOM-kill) surfaces
+as :class:`RankDiedError` within a short detection bound, and the shared
+memory it leased is reclaimed by a prefix sweep so repeated
+fault-injection runs cannot exhaust ``/dev/shm``.
 """
 
 from __future__ import annotations
 
+import atexit
+import itertools
 import os
 import pickle
 import threading
@@ -37,20 +65,55 @@ from collections import defaultdict
 from multiprocessing import connection, get_context
 from typing import Any, Callable
 
+from .. import faults, observe
 from ..observe import trace as _otrace
+from ..observe.metrics import registry as _registry
 from . import transport
 from .comm import (
     _DEFAULT_TIMEOUT,
     _AbortedError,
+    _coll_group_size,
     _Mailbox,
     Communicator,
     ParallelError,
 )
 
-__all__ = ["run_parallel_processes", "RankDiedError"]
+__all__ = [
+    "run_parallel_processes",
+    "RankDiedError",
+    "RankPool",
+    "shutdown_pool",
+    "pool_enabled",
+]
 
 _POLL_S = 0.05  # receiver-thread poll interval (also the abort latency)
 _DETECT_POLL_S = 0.2  # parent's dead-child detection poll interval
+
+#: Control tag (collective channel) used to quiesce the pipe mesh between
+#: pooled tasks.  Negative tags can never collide with user or collective
+#: traffic (user tags are >= 0; collective tags are >= _COLL_TAG).
+_FLUSH_TAG = -2
+
+_pool_seq = itertools.count()  # distinct shm prefixes across pool generations
+_region_seq = itertools.count()  # distinct shm prefixes across fresh regions
+
+#: Always-on pool lifecycle counters (cheap introspection for tests and the
+#: scaling bench).  Mirrored into the observe metrics registry as
+#: ``pool.<name>`` counters only while observation is enabled, matching how
+#: CommStats and friends are absorbed.
+pool_counters: dict[str, int] = {
+    "forks": 0,  # worker processes ever forked into pools
+    "runs_leased": 0,  # run_parallel calls served by a pool
+    "runs_reused": 0,  # of those, served by already-warm workers
+    "fallback_runs": 0,  # unpicklable tasks that fell back to fresh fork
+    "invalidations": 0,  # pools torn down by a failed run
+}
+
+
+def _pool_count(name: str, n: int = 1) -> None:
+    pool_counters[name] += n
+    if observe.enabled():
+        _registry().counter(f"pool.{name}").inc(n)
 
 
 class RankDiedError(RuntimeError):
@@ -71,10 +134,12 @@ class _ProcessWorld:
         barrier,
         abort_mp,
         timeout: float,
+        shm_prefix: str | None = None,
     ) -> None:
         self.rank = rank
         self.size = size
         self.timeout = timeout
+        self.coll_group = _coll_group_size(size)
         self.abort = threading.Event()  # local mirror of the shared flag
         self._abort_mp = abort_mp
         self._barrier_mp = barrier
@@ -82,7 +147,7 @@ class _ProcessWorld:
         self._send_locks = {peer: threading.Lock() for peer in conns}
         self._user_mb = _Mailbox()
         self._coll_mb = _Mailbox()
-        self.pool = transport.ShmPool()
+        self.pool = transport.ShmPool(prefix=shm_prefix)
         self._attached: dict[str, Any] = {}  # peer segment name -> mapping
         self._leases: list[tuple[int, transport.SegmentLease]] = []
         self._pending_release: dict[int, list[str]] = defaultdict(list)
@@ -98,11 +163,13 @@ class _ProcessWorld:
     # -- Communicator transport interface ------------------------------
     def deliver(
         self, dest: int, source: int, tag: int, payload: Any, coll: bool = False
-    ) -> int:
-        """Ship ``payload`` to ``dest``; returns bytes moved via shm."""
+    ) -> tuple[int, int]:
+        """Ship ``payload`` to ``dest``; returns ``(shm_bytes, chunk_frames)``
+        — bytes moved via shared memory and extra pipe frames used by
+        chunked framing (0 for an ordinary single-frame send)."""
         if dest == self.rank:
             self.inbox(dest, coll).put(source, tag, payload)
-            return 0
+            return 0, 0
         t0 = time.perf_counter() if _otrace._enabled else 0.0
         meta, descriptors, shm_bytes = transport.encode_payload(payload, self.pool)
         if _otrace._enabled and shm_bytes:
@@ -121,7 +188,7 @@ class _ProcessWorld:
         )
         try:
             with self._send_locks[dest]:
-                self._conns[dest].send_bytes(wire)
+                frames = transport.send_message(self._conns[dest], wire)
         except (BrokenPipeError, OSError):
             # A broken data pipe means the peer process is gone — this rank
             # is a secondary casualty either way.  The authoritative
@@ -131,7 +198,7 @@ class _ProcessWorld:
             raise _AbortedError(
                 "parallel region aborted while sending (peer pipe closed)"
             ) from None
-        return shm_bytes
+        return shm_bytes, frames
 
     def inbox(self, rank: int, coll: bool) -> _Mailbox:
         assert rank == self.rank, "a rank process only reads its own mailbox"
@@ -164,11 +231,11 @@ class _ProcessWorld:
                 break
             for conn in ready:
                 try:
-                    wire = conn.recv_bytes()
-                except (EOFError, OSError):
+                    msg, _ = transport.recv_message(conn)
+                except (EOFError, OSError, transport.CommError):
                     del by_conn[conn]
                     continue
-                releases, source, tag, coll, meta, descriptors = pickle.loads(wire)
+                releases, source, tag, coll, meta, descriptors = msg
                 for name in releases:
                     self.pool.recycle(name)
                 payload, lease = transport.decode_payload(
@@ -203,6 +270,33 @@ class _ProcessWorld:
             with mb.lock:
                 mb.ready.notify_all()
 
+    # -- pooled-task lifecycle ------------------------------------------
+    def flush_task(self) -> None:
+        """Quiesce the pipe mesh at the end of a pooled task.
+
+        Every rank sends a flush marker to every peer and waits for the
+        peers' markers.  Pipes are FIFO per (source, dest), so receiving a
+        peer's marker proves everything that peer sent this task has
+        already been drained into the local mailboxes — the mesh carries no
+        in-flight traffic that could leak into the next task.  Callers run
+        this only after the finish barrier (all ranks done sending).
+        Pending shm release names piggyback on the markers, exactly as on
+        ordinary messages.
+        """
+        for peer in sorted(self._conns):
+            self.deliver(peer, self.rank, _FLUSH_TAG, None, coll=True)
+        for peer in sorted(self._conns):
+            self._coll_mb.get(peer, _FLUSH_TAG, self.abort, self.timeout)
+
+    def end_task(self) -> None:
+        """Drop task-local message state so the next lease starts clean.
+
+        Unconsumed payloads die here; their shm leases go idle and the
+        receiver thread queues the segment names for release on the next
+        task's traffic (or they fall to the pool shutdown sweep)."""
+        self._user_mb.clear()
+        self._coll_mb.clear()
+
     def shutdown(self) -> None:
         self._stop.set()
         self._recv_thread.join(timeout=5.0)
@@ -230,6 +324,60 @@ def _portable_exception(exc: BaseException) -> BaseException:
         return RuntimeError(f"[{type(exc).__name__}] {exc}\n{detail}")
 
 
+def _send_status(result_conn: connection.Connection, status: tuple) -> None:
+    """Ship a ("ok"/"err", payload) status, downgrading unpicklable results
+    to a reported error rather than hanging the parent."""
+    try:
+        transport.send_message(result_conn, pickle.dumps(status, protocol=5))
+    except Exception as exc:  # result not picklable: report, don't hang
+        fallback = ("err", _portable_exception(exc))
+        try:
+            transport.send_message(
+                result_conn, pickle.dumps(fallback, protocol=5)
+            )
+        except Exception:
+            pass
+
+
+def _run_task(
+    world: _ProcessWorld,
+    rank: int,
+    func: Callable[..., Any],
+    args: tuple,
+    kwargs: dict,
+    barrier,
+    finish_barrier,
+    abort_mp,
+    timeout: float,
+) -> tuple[str, Any]:
+    """Execute one parallel-region task on an established world."""
+    world.timeout = timeout
+    try:
+        result = func(Communicator(rank, world), *args, **kwargs)
+        status: tuple[str, Any] = ("ok", result)
+    except BaseException as exc:  # noqa: BLE001 - must propagate everything
+        abort_mp.set()
+        for b in (barrier, finish_barrier):
+            try:
+                b.abort()  # wake peers blocked at a barrier
+            except Exception:
+                pass
+        status = ("err", _portable_exception(exc))
+    if status[0] == "ok":
+        # Rendezvous before teardown/reuse: a peer may still be sending to
+        # this rank (buffered sends never fail in the thread backend, so
+        # they must not fail here either).  This is a *separate* barrier
+        # object from the user-visible one — mixing the two would let a
+        # finished rank's arrival complete a peer's in-progress user
+        # barrier cycle.  A broken barrier means some rank already failed —
+        # proceed; the primary error wins at the parent.
+        try:
+            finish_barrier.wait(timeout=timeout)
+        except threading.BrokenBarrierError:
+            pass
+    return status
+
+
 def _child_main(
     rank: int,
     size: int,
@@ -243,50 +391,26 @@ def _child_main(
     abort_mp,
     timeout: float,
     result_conn: connection.Connection,
+    shm_prefix: str,
 ) -> None:
+    """Fresh-fork worker: run one task, report, tear down, exit."""
     # Fork gave us every pipe end; keep only ours so peers see EOF promptly.
     for conn in extra_conns:
         try:
             conn.close()
         except OSError:
             pass
-    world = _ProcessWorld(rank, size, conns, barrier, abort_mp, timeout)
+    world = _ProcessWorld(
+        rank, size, conns, barrier, abort_mp, timeout, shm_prefix=shm_prefix
+    )
     world.start()
-    try:
-        result = func(Communicator(rank, world), *args, **kwargs)
-        status: tuple[str, Any] = ("ok", result)
-    except BaseException as exc:  # noqa: BLE001 - must propagate everything
-        abort_mp.set()
-        for b in (barrier, finish_barrier):
-            try:
-                b.abort()  # wake peers blocked at a barrier
-            except Exception:
-                pass
-        status = ("err", _portable_exception(exc))
-    if status[0] == "ok":
-        # Rendezvous before teardown: a peer may still be sending to this
-        # rank (buffered sends never fail in the thread backend, so they
-        # must not fail here either).  This is a *separate* barrier object
-        # from the user-visible one — mixing the two would let a finished
-        # rank's arrival complete a peer's in-progress user barrier cycle.
-        # A broken barrier means some rank already failed — proceed; the
-        # primary error wins at the parent.
-        try:
-            finish_barrier.wait(timeout=timeout)
-        except threading.BrokenBarrierError:
-            pass
-    try:
-        result_conn.send_bytes(pickle.dumps(status, protocol=5))
-    except Exception as exc:  # result not picklable: report, don't hang
-        fallback = ("err", _portable_exception(exc))
-        try:
-            result_conn.send_bytes(pickle.dumps(fallback, protocol=5))
-        except Exception:
-            pass
+    status = _run_task(
+        world, rank, func, args, kwargs, barrier, finish_barrier, abort_mp, timeout
+    )
+    _send_status(result_conn, status)
     # Drop the last local references to result payloads before teardown so
     # shm-backed arrays die and their mappings close cleanly.
     del status
-    result = None  # noqa: F841 - release, the parent owns the pickled copy
     world.shutdown()
     try:
         result_conn.close()
@@ -294,96 +418,134 @@ def _child_main(
         pass
 
 
-def run_parallel_processes(
-    nranks: int,
-    func: Callable[..., Any],
-    args: tuple,
-    kwargs: dict,
-    recv_timeout: float | None = None,
-) -> list[Any]:
-    """Run ``func(comm, ...)`` on ``nranks`` forked processes (rank order).
+def _pool_main(
+    rank: int,
+    size: int,
+    conns: dict[int, connection.Connection],
+    extra_conns: list[connection.Connection],
+    barrier,
+    finish_barrier,
+    abort_mp,
+    task_conn: connection.Connection,
+    result_conn: connection.Connection,
+    shm_prefix: str,
+) -> None:
+    """Pool worker: serve tasks off the task pipe until stopped.
 
-    See :func:`repro.diy.comm.run_parallel`; this is its ``"process"``
-    backend.  Requires a POSIX ``fork`` (the worker function and arguments
-    are inherited, not pickled; results must pickle).
+    Each iteration runs one parallel-region task against the same
+    long-lived world (same pipes, same shm pool, same attached-segment
+    cache), then quiesces the mesh so the next task starts from a clean
+    slate.  Any failure leaves the shared barriers broken and the abort
+    flag set — the parent invalidates the whole pool, so no recovery is
+    attempted here.
     """
-    if not hasattr(os, "fork"):
-        raise RuntimeError(
-            "backend='process' requires POSIX fork; use backend='thread'"
-        )
-    timeout = _DEFAULT_TIMEOUT if recv_timeout is None else float(recv_timeout)
-    ctx = get_context("fork")
+    for conn in extra_conns:
+        try:
+            conn.close()
+        except OSError:
+            pass
+    world = _ProcessWorld(
+        rank, size, conns, barrier, abort_mp, _DEFAULT_TIMEOUT,
+        shm_prefix=shm_prefix,
+    )
+    world.start()
+    while True:
+        try:
+            task, _ = transport.recv_message(task_conn)
+        except Exception:  # EOF/OSError: parent gone or shutting down
+            break
+        if task[0] != "run":
+            break  # explicit ("stop",) from shutdown_pool
+        _, func, args, kwargs, spec, timeout = task
+        # Fault specs ship with the task: this worker forked before the
+        # caller armed its injector, so fork inheritance cannot apply.
+        faults.clear()
+        if spec is not None:
+            faults.install(spec)
+        try:
+            status = _run_task(
+                world, rank, func, args, kwargs, barrier, finish_barrier,
+                abort_mp, timeout,
+            )
+        finally:
+            faults.clear()
+        clean = False
+        if status[0] == "ok" and not abort_mp.is_set():
+            try:
+                world.flush_task()
+                clean = True
+            except BaseException:
+                pass
+        if not clean:
+            # The mesh may still carry in-flight traffic — unsafe to reuse.
+            abort_mp.set()
+        # Clear task-local state BEFORE reporting: once this rank's status
+        # reaches the parent, a peer may receive the *next* task and start
+        # sending — a clear() after that point would eat the new task's
+        # first messages.  Post-flush, clearing here is race-free: the
+        # mailboxes hold only this task's leftovers.
+        world.end_task()
+        _send_status(result_conn, status)
+        del status
+        if abort_mp.is_set():
+            break  # pool invalidated; the parent reaps this worker
+    world.shutdown()
+    for conn in (task_conn, result_conn):
+        try:
+            conn.close()
+        except OSError:
+            pass
 
-    pair_pipes = {
-        (i, j): ctx.Pipe(duplex=True)
-        for i in range(nranks)
-        for j in range(i + 1, nranks)
-    }
-    result_pipes = [ctx.Pipe(duplex=False) for _ in range(nranks)]
-    abort_mp = ctx.Event()
-    barrier = ctx.Barrier(nranks)
-    finish_barrier = ctx.Barrier(nranks)
 
-    all_data_conns = [c for pair in pair_pipes.values() for c in pair]
-    procs = []
-    for rank in range(nranks):
-        conns: dict[int, connection.Connection] = {}
-        for (i, j), (ci, cj) in pair_pipes.items():
-            if i == rank:
-                conns[j] = ci
-            elif j == rank:
-                conns[i] = cj
-        mine = set(map(id, conns.values())) | {id(result_pipes[rank][1])}
-        extra = [c for c in all_data_conns if id(c) not in mine]
-        extra += [w for r, (_, w) in enumerate(result_pipes) if r != rank]
-        extra += [r_conn for r_conn, _ in result_pipes]
-        proc = ctx.Process(
-            target=_child_main,
-            args=(
-                rank,
-                nranks,
-                func,
-                args,
-                kwargs,
-                conns,
-                extra,
-                barrier,
-                finish_barrier,
-                abort_mp,
-                timeout,
-                result_pipes[rank][1],
-            ),
-            name=f"rank-{rank}",
-            daemon=True,
-        )
-        proc.start()
-        procs.append(proc)
+# ----------------------------------------------------------------------
+# parent-side machinery
+# ----------------------------------------------------------------------
+def _spawn_rank(ctx, target: Callable[..., Any], args: tuple, rank: int):
+    """Fork one rank process (seam for spawn-failure injection in tests)."""
+    proc = ctx.Process(target=target, args=args, name=f"rank-{rank}", daemon=True)
+    proc.start()
+    return proc
 
-    # The parent needs only the result read-ends.
-    for conn in all_data_conns:
-        conn.close()
-    for _, write_end in result_pipes:
-        write_end.close()
 
-    results: list[Any] = [None] * nranks
+def _rank_conns(
+    pair_pipes: dict, rank: int
+) -> dict[int, connection.Connection]:
+    """The duplex pipe ends rank ``rank`` uses to reach each peer."""
+    conns: dict[int, connection.Connection] = {}
+    for (i, j), (ci, cj) in pair_pipes.items():
+        if i == rank:
+            conns[j] = ci
+        elif j == rank:
+            conns[i] = cj
+    return conns
+
+
+def _await_results(
+    procs: list,
+    pending: dict[connection.Connection, int],
+    abort_all: Callable[[], None],
+    timeout: float,
+) -> tuple[list[Any], list[ParallelError]]:
+    """Collect one ("ok"/"err", payload) status per rank.
+
+    Shared by the fresh-fork path and the pool.  A child that exited
+    without delivering a result (killed by the OS, or ``os._exit`` from
+    fault injection) is detected within ~``_DETECT_POLL_S`` as a
+    :class:`RankDiedError`, not after the full recv timeout; a region that
+    produces nothing past the timeout grace window is declared deadlocked.
+    """
+    results: list[Any] = [None] * len(procs)
     errors: list[ParallelError] = []
-    pending = {result_pipes[rank][0]: rank for rank in range(nranks)}
     deadline = time.monotonic() + timeout + 30.0
 
     def declare_failed(rank: int, exc: BaseException) -> None:
         """Record a failure and wake every surviving rank promptly.
 
-        Setting the abort flag wakes blocked receives (each rank's receiver
-        thread polls it every ``_POLL_S``); aborting the barriers wakes
-        ranks blocked in a collective barrier wait.  Without the barrier
-        abort, peers of a dead rank would stall until the full recv
-        timeout."""
-        abort_mp.set()
-        for b in (barrier, finish_barrier):
-            try:
-                b.abort()
-            except Exception:
-                pass
+        Aborting wakes blocked receives (each rank's receiver thread polls
+        the shared flag every ``_POLL_S``) and ranks blocked in a barrier
+        wait.  Without it, peers of a dead rank would stall until the full
+        recv timeout."""
+        abort_all()
         errors.append(ParallelError(rank, exc))
 
     while pending:
@@ -391,7 +553,7 @@ def run_parallel_processes(
         for conn in ready:
             rank = pending.pop(conn)
             try:
-                kind, payload = pickle.loads(conn.recv_bytes())
+                (kind, payload), _ = transport.recv_message(conn)
             except (EOFError, OSError):
                 procs[rank].join(timeout=1.0)  # reap so exitcode is readable
                 declare_failed(
@@ -405,13 +567,10 @@ def run_parallel_processes(
             if kind == "ok":
                 results[rank] = payload
             else:
-                abort_mp.set()
-                errors.append(ParallelError(rank, payload))
-        # Heartbeat: a child that exited without delivering a result (e.g.
-        # killed by the OS, or os._exit from fault injection) is detected
-        # here within ~_DETECT_POLL_S, not after the full recv timeout.
-        # exitcode set + nothing left in the result pipe == dead child (a
-        # finished child's result bytes are already in the pipe buffer).
+                declare_failed(rank, payload)
+        # Heartbeat: exitcode set + nothing left in the result pipe == dead
+        # child (a finished child's result bytes are already in the pipe
+        # buffer, and a live pool worker has no exitcode).
         for conn, rank in list(pending.items()):
             if procs[rank].exitcode is not None and not conn.poll():
                 del pending[conn]
@@ -423,7 +582,7 @@ def run_parallel_processes(
                     ),
                 )
         if not ready and pending and time.monotonic() > deadline:
-            abort_mp.set()
+            abort_all()
             for conn, rank in pending.items():
                 errors.append(
                     ParallelError(
@@ -435,6 +594,348 @@ def run_parallel_processes(
                     )
                 )
             break
+    return results, errors
+
+
+def _raise_first(errors: list[ParallelError]) -> None:
+    # Prefer the originating failure over secondary teardown errors.
+    errors.sort(key=lambda e: (isinstance(e.original, _AbortedError), e.rank))
+    raise errors[0]
+
+
+class RankPool:
+    """A persistent set of forked rank workers, reused across regions.
+
+    Forking ``nranks`` processes, building the O(n²) pipe mesh, and warming
+    each rank's shm pool costs far more than a small tessellation step — a
+    pool pays it once and amortizes it over every subsequent
+    ``run_parallel`` at the same rank count.  :meth:`run` leases the
+    workers for one task; any failure (raising rank, dead process,
+    deadlock, unreachable pipe) permanently invalidates the pool — its
+    workers are terminated and every shm segment carrying the pool's name
+    prefix is swept from ``/dev/shm`` — and the caller's next run forks a
+    replacement.  :meth:`shutdown` releases a healthy pool gracefully.
+    """
+
+    def __init__(self, nranks: int) -> None:
+        ctx = get_context("fork")
+        self.nranks = nranks
+        self.generation = next(_pool_seq)
+        self.shm_prefix = f"repro-{os.getpid()}-p{self.generation}"
+        self.alive = True
+        self.runs = 0
+        self.abort_mp = ctx.Event()
+        self.barrier = ctx.Barrier(nranks)
+        self.finish_barrier = ctx.Barrier(nranks)
+        pair_pipes = {
+            (i, j): ctx.Pipe(duplex=True)
+            for i in range(nranks)
+            for j in range(i + 1, nranks)
+        }
+        task_pipes = [ctx.Pipe(duplex=False) for _ in range(nranks)]
+        result_pipes = [ctx.Pipe(duplex=False) for _ in range(nranks)]
+        all_data_conns = [c for pair in pair_pipes.values() for c in pair]
+        self.procs: list = []
+        try:
+            for rank in range(nranks):
+                conns = _rank_conns(pair_pipes, rank)
+                mine = set(map(id, conns.values()))
+                mine.add(id(task_pipes[rank][0]))
+                mine.add(id(result_pipes[rank][1]))
+                # Everything a child does not own gets closed post-fork:
+                # other pairs' data conns, every task write-end and result
+                # read-end (parent's side), and the task/result ends that
+                # belong to other ranks.
+                extra = [c for c in all_data_conns if id(c) not in mine]
+                for r, (read_end, write_end) in enumerate(task_pipes):
+                    extra.append(write_end)
+                    if r != rank:
+                        extra.append(read_end)
+                for r, (read_end, write_end) in enumerate(result_pipes):
+                    extra.append(read_end)
+                    if r != rank:
+                        extra.append(write_end)
+                self.procs.append(
+                    _spawn_rank(
+                        ctx,
+                        _pool_main,
+                        (
+                            rank,
+                            nranks,
+                            conns,
+                            extra,
+                            self.barrier,
+                            self.finish_barrier,
+                            self.abort_mp,
+                            task_pipes[rank][0],
+                            result_pipes[rank][1],
+                            f"{self.shm_prefix}.r{rank}",
+                        ),
+                        rank,
+                    )
+                )
+        except BaseException:
+            self._abort_all()
+            self._kill()
+            raise
+        for conn in all_data_conns:
+            conn.close()
+        for read_end, _ in task_pipes:
+            read_end.close()
+        for _, write_end in result_pipes:
+            write_end.close()
+        self.task_conns = [w for _, w in task_pipes]
+        self.result_conns = [r for r, _ in result_pipes]
+        _pool_count("forks", nranks)
+
+    def _abort_all(self) -> None:
+        self.abort_mp.set()
+        for b in (self.barrier, self.finish_barrier):
+            try:
+                b.abort()
+            except Exception:
+                pass
+
+    def run(self, task_wire: bytes, timeout: float) -> list[Any]:
+        """Lease the workers for one pickled task; results in rank order."""
+        if not self.alive:
+            raise RuntimeError("pool has been invalidated or shut down")
+        self.runs += 1
+        sent = 0
+        try:
+            for conn in self.task_conns:
+                transport.send_message(conn, task_wire)
+                sent += 1
+        except Exception as exc:
+            # Ranks [0, sent) already started the task; the mesh state is
+            # unknowable — tear the pool down rather than reuse it.
+            self.invalidate()
+            raise ParallelError(
+                sent, RankDiedError(f"rank {sent} pool worker unreachable: {exc}")
+            ) from exc
+        pending = {conn: rank for rank, conn in enumerate(self.result_conns)}
+        results, errors = _await_results(
+            self.procs, pending, self._abort_all, timeout
+        )
+        if errors or self.abort_mp.is_set():
+            self.invalidate()
+        if errors:
+            _raise_first(errors)
+        return results
+
+    def invalidate(self) -> None:
+        """Crash-triggered teardown: kill workers, sweep their segments."""
+        if not self.alive:
+            return
+        self.alive = False
+        self._abort_all()
+        self._kill()
+        _pool_count("invalidations")
+
+    def shutdown(self) -> None:
+        """Graceful release: workers unlink their own segments and exit."""
+        if not self.alive:
+            return
+        self.alive = False
+        stop = pickle.dumps(("stop",), protocol=5)
+        for conn in self.task_conns:
+            try:
+                transport.send_message(conn, stop)
+            except Exception:
+                pass
+        for proc in self.procs:
+            proc.join(timeout=5.0)
+        self._kill()
+
+    def _kill(self) -> None:
+        for proc in self.procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self.procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=5.0)
+        for conn in getattr(self, "task_conns", []) + getattr(
+            self, "result_conns", []
+        ):
+            try:
+                conn.close()
+            except OSError:
+                pass
+        # Reclaim segments of workers that never ran their own shutdown
+        # (terminated, or hard-killed by fault injection).
+        transport.unlink_segments(self.shm_prefix)
+
+
+_pools: dict[int, RankPool] = {}
+_pools_lock = threading.Lock()
+_atexit_armed = False
+
+
+def pool_enabled() -> bool:
+    """Whether run_parallel leases pooled workers (REPRO_POOL, default on)."""
+    return os.environ.get("REPRO_POOL", "1").strip().lower() not in (
+        "0", "false", "off",
+    )
+
+
+def _get_pool(nranks: int) -> RankPool:
+    global _atexit_armed
+    with _pools_lock:
+        pool = _pools.get(nranks)
+        if pool is None or not pool.alive:
+            pool = RankPool(nranks)
+            _pools[nranks] = pool
+            if not _atexit_armed:
+                atexit.register(shutdown_pool)
+                _atexit_armed = True
+        return pool
+
+
+def shutdown_pool() -> None:
+    """Shut down every persistent rank pool (graceful, idempotent).
+
+    Registered ``atexit`` when the first pool is created, so interpreter
+    exit never strands pool workers; call it explicitly to release the
+    worker processes and their shared memory earlier (e.g. at the end of a
+    CLI run).
+    """
+    with _pools_lock:
+        pools = list(_pools.values())
+        _pools.clear()
+    for pool in pools:
+        pool.shutdown()
+
+
+def run_parallel_processes(
+    nranks: int,
+    func: Callable[..., Any],
+    args: tuple,
+    kwargs: dict,
+    recv_timeout: float | None = None,
+    use_pool: bool | None = None,
+) -> list[Any]:
+    """Run ``func(comm, ...)`` on ``nranks`` forked processes (rank order).
+
+    See :func:`repro.diy.comm.run_parallel`; this is its ``"process"``
+    backend.  Requires POSIX ``fork``.
+
+    By default (``use_pool=None``) the task is pickled and leased to the
+    persistent :class:`RankPool` for this rank count (honoring
+    ``REPRO_POOL``); tasks that don't pickle — closures over live objects —
+    transparently fall back to a fresh fork per region, where the worker
+    function and arguments are inherited rather than serialized.  Results
+    must pickle on every path.
+    """
+    if not hasattr(os, "fork"):
+        raise RuntimeError(
+            "backend='process' requires POSIX fork; use backend='thread'"
+        )
+    timeout = _DEFAULT_TIMEOUT if recv_timeout is None else float(recv_timeout)
+
+    if use_pool is None:
+        use_pool = pool_enabled()
+    if use_pool:
+        injector = faults.active()
+        spec = injector.spec if injector is not None else None
+        try:
+            task_wire = pickle.dumps(
+                ("run", func, args, kwargs, spec, timeout), protocol=5
+            )
+        except Exception:
+            task_wire = None
+            _pool_count("fallback_runs")
+        if task_wire is not None:
+            pool = _get_pool(nranks)
+            _pool_count("runs_leased")
+            if pool.runs:
+                _pool_count("runs_reused")
+            return pool.run(task_wire, timeout)
+
+    ctx = get_context("fork")
+    region_prefix = f"repro-{os.getpid()}-f{next(_region_seq)}"
+    pair_pipes = {
+        (i, j): ctx.Pipe(duplex=True)
+        for i in range(nranks)
+        for j in range(i + 1, nranks)
+    }
+    result_pipes = [ctx.Pipe(duplex=False) for _ in range(nranks)]
+    abort_mp = ctx.Event()
+    barrier = ctx.Barrier(nranks)
+    finish_barrier = ctx.Barrier(nranks)
+
+    def abort_all() -> None:
+        abort_mp.set()
+        for b in (barrier, finish_barrier):
+            try:
+                b.abort()
+            except Exception:
+                pass
+
+    all_data_conns = [c for pair in pair_pipes.values() for c in pair]
+    procs: list = []
+    try:
+        for rank in range(nranks):
+            conns = _rank_conns(pair_pipes, rank)
+            mine = set(map(id, conns.values())) | {id(result_pipes[rank][1])}
+            extra = [c for c in all_data_conns if id(c) not in mine]
+            extra += [w for r, (_, w) in enumerate(result_pipes) if r != rank]
+            extra += [r_conn for r_conn, _ in result_pipes]
+            procs.append(
+                _spawn_rank(
+                    ctx,
+                    _child_main,
+                    (
+                        rank,
+                        nranks,
+                        func,
+                        args,
+                        kwargs,
+                        conns,
+                        extra,
+                        barrier,
+                        finish_barrier,
+                        abort_mp,
+                        timeout,
+                        result_pipes[rank][1],
+                        f"{region_prefix}.r{rank}",
+                    ),
+                    rank,
+                )
+            )
+    except BaseException:
+        # A failed spawn must not strand the ranks already started: abort
+        # them, join-or-terminate every child, and reclaim their segments.
+        abort_all()
+        for proc in procs:
+            proc.join(timeout=2.0)
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for conn in all_data_conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for read_end, write_end in result_pipes:
+            for conn in (read_end, write_end):
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+        transport.unlink_segments(region_prefix)
+        raise
+
+    # The parent needs only the result read-ends.
+    for conn in all_data_conns:
+        conn.close()
+    for _, write_end in result_pipes:
+        write_end.close()
+
+    pending = {result_pipes[rank][0]: rank for rank in range(nranks)}
+    results, errors = _await_results(procs, pending, abort_all, timeout)
 
     for proc in procs:
         proc.join(timeout=10.0)
@@ -449,7 +950,9 @@ def run_parallel_processes(
             pass
 
     if errors:
-        # Prefer the originating failure over secondary teardown errors.
-        errors.sort(key=lambda e: (isinstance(e.original, _AbortedError), e.rank))
-        raise errors[0]
+        # Ranks that died hard (os._exit, SIGTERM) never unlinked their
+        # pooled segments — sweep them so repeated fault-injection runs
+        # don't exhaust /dev/shm.
+        transport.unlink_segments(region_prefix)
+        _raise_first(errors)
     return results

@@ -23,6 +23,19 @@ Serialization strategy (used by :mod:`repro.diy.process_backend`):
 The wire format is ``(meta, descriptors)`` where ``meta`` is the pickle
 stream and each descriptor is ``("raw", bytes)`` for an inline buffer or
 ``("shm", name, offset, nbytes)`` for a shared-memory one.
+
+Pipe framing
+------------
+``multiprocessing.connection.Connection.send_bytes`` stores each frame's
+length in a C ``int``, so a single frame is capped just below 2 GiB (and
+pickle itself historically hits ``INT_MAX`` limits in the same place).
+:func:`send_message`/:func:`recv_message` hide that cap: a wire blob above
+:data:`CHUNK_LIMIT` bytes travels as a small pickled header
+``(CHUNK_HEADER, nchunks, total)`` followed by ``nchunks`` raw slices, each
+safely under the frame limit, reassembled on the receive side.  With
+chunking disabled (``REPRO_CHUNK_LIMIT=0``) an oversized frame raises a
+:class:`CommError` naming the payload size instead of an opaque
+``struct.error``/``OSError`` from deep inside the pipe code.
 """
 
 from __future__ import annotations
@@ -37,11 +50,17 @@ import numpy as np
 
 __all__ = [
     "SHM_THRESHOLD",
+    "CHUNK_LIMIT",
+    "CHUNK_HEADER",
+    "CommError",
     "ShmPool",
     "SegmentLease",
     "encode_payload",
     "decode_payload",
     "attach_segment",
+    "send_message",
+    "recv_message",
+    "unlink_segments",
 ]
 
 #: Buffers at or above this many bytes ride in shared memory instead of the
@@ -49,8 +68,28 @@ __all__ = [
 #: rarely block the sender.  Overridable for testing via the environment.
 SHM_THRESHOLD = int(os.environ.get("REPRO_SHM_THRESHOLD", 1 << 15))
 
+#: A single pipe frame larger than this many bytes is split into chunks
+#: (header frame + raw slices).  Must stay below the ~2 GiB C ``int`` cap
+#: of ``Connection.send_bytes``; 0 disables chunking, making oversized
+#: frames raise :class:`CommError`.  Overridable via the environment.
+CHUNK_LIMIT = int(os.environ.get("REPRO_CHUNK_LIMIT", 1 << 28))
+
+#: First element of the pickled chunk header frame.  Ordinary wire messages
+#: are 6-tuples starting with a list (the piggybacked release names), so a
+#: tuple starting with this marker is unambiguous.
+CHUNK_HEADER = "__repro_chunks__"
+
+#: Hard per-frame cap of Connection.send_bytes (length is a C int; leave
+#: headroom for the protocol's own header).
+_PIPE_MAX = (1 << 31) - 64
+
 _MIN_SEGMENT = 1 << 15  # smallest size class (32 KiB)
 _ALIGN = 64  # buffer alignment within a segment
+
+
+class CommError(RuntimeError):
+    """Transport-level failure with an actionable message (e.g. a payload
+    too large for a single pipe frame while chunking is disabled)."""
 
 
 def _untrack(shm: shared_memory.SharedMemory) -> None:
@@ -76,6 +115,88 @@ def attach_segment(name: str) -> shared_memory.SharedMemory:
     return shm
 
 
+def unlink_segments(prefix: str) -> int:
+    """Best-effort unlink of every /dev/shm segment named ``prefix*``.
+
+    The recovery path for ranks that died without running their pool's
+    :meth:`ShmPool.shutdown` (``os._exit`` fault injection, ``SIGTERM`` from
+    the parent): their segments would otherwise accumulate in ``/dev/shm``
+    until the filesystem fills.  Pools created with a name ``prefix`` get
+    deterministic segment names, so the parent can sweep a dead region by
+    prefix alone.  Returns the number of segments removed; harmless (0) on
+    platforms without a /dev/shm directory.
+    """
+    shm_dir = "/dev/shm"
+    removed = 0
+    try:
+        names = os.listdir(shm_dir)
+    except OSError:
+        return 0
+    for name in names:
+        if name.startswith(prefix):
+            try:
+                os.unlink(os.path.join(shm_dir, name))
+                removed += 1
+            except OSError:
+                pass
+    return removed
+
+
+def send_message(conn, wire: bytes) -> int:
+    """Send one logical message over ``conn``, chunking oversized frames.
+
+    Returns the number of extra frames used (0 for a normal single-frame
+    send, ``nchunks`` when the chunked path engaged).  The caller must hold
+    whatever send lock serializes writers on ``conn`` for the whole call —
+    the header and its chunks must be contiguous on the stream.
+
+    Raises :class:`CommError` when the message exceeds the single-frame pipe
+    cap and chunking is disabled (``REPRO_CHUNK_LIMIT=0``).
+    """
+    total = len(wire)
+    limit = min(CHUNK_LIMIT, _PIPE_MAX) if CHUNK_LIMIT > 0 else 0
+    if limit <= 0 or total <= limit:
+        if total > _PIPE_MAX:
+            raise CommError(
+                f"message of {total} bytes exceeds the {_PIPE_MAX}-byte pipe "
+                f"frame limit and chunked transport is disabled "
+                f"(REPRO_CHUNK_LIMIT={CHUNK_LIMIT}); re-enable chunking or "
+                f"move the payload into shared memory"
+            )
+        conn.send_bytes(wire)
+        return 0
+    nchunks = -(-total // limit)
+    conn.send_bytes(pickle.dumps((CHUNK_HEADER, nchunks, total), protocol=5))
+    view = memoryview(wire)
+    for i in range(nchunks):
+        conn.send_bytes(view[i * limit : (i + 1) * limit])
+    return nchunks
+
+
+def recv_message(conn) -> tuple[object, int]:
+    """Receive one logical message sent by :func:`send_message`.
+
+    Returns ``(payload_object, extra_frames)`` where ``extra_frames`` is 0
+    for a plain message and the chunk count when reassembly happened.
+    Propagates ``EOFError``/``OSError`` from the underlying pipe unchanged
+    so callers keep their existing dead-peer handling.
+    """
+    obj = pickle.loads(conn.recv_bytes())
+    if not (isinstance(obj, tuple) and obj and obj[0] == CHUNK_HEADER):
+        return obj, 0
+    _, nchunks, total = obj
+    buf = bytearray(total)
+    view = memoryview(buf)
+    offset = 0
+    for _ in range(nchunks):
+        offset += conn.recv_bytes_into(view, offset)
+    if offset != total:
+        raise CommError(
+            f"chunked message truncated: expected {total} bytes, got {offset}"
+        )
+    return pickle.loads(buf), nchunks
+
+
 class ShmPool:
     """Per-process pooled allocator of shared-memory segments.
 
@@ -84,14 +205,21 @@ class ShmPool:
     the backend's release protocol) :meth:`recycle` returns it to the free
     list for reuse.  :meth:`shutdown` unlinks every segment this pool ever
     created — the pool is the single owner of its segments' lifetimes.
+
+    A ``prefix`` makes segment names deterministic (``<prefix>.<seq>``), so
+    a supervising process that knows the prefix can reclaim the segments of
+    a rank that died without running :meth:`shutdown` (see
+    :func:`unlink_segments`).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, prefix: str | None = None) -> None:
         # acquire() runs on the app (sending) thread while recycle() runs on
         # the backend's receiver thread, so the free lists are lock-guarded.
         self._lock = threading.Lock()
         self._free: dict[int, list[shared_memory.SharedMemory]] = {}
         self._inflight: dict[str, shared_memory.SharedMemory] = {}
+        self._prefix = prefix
+        self._seq = 0
         self.created = 0  # segments ever created (observability/tests)
         self.recycled = 0  # acquires served from the free list
 
@@ -111,11 +239,24 @@ class ShmPool:
         if shm is not None:
             self.recycled += 1
         else:
-            shm = shared_memory.SharedMemory(create=True, size=size)
+            shm = self._create(size)
             self.created += 1
         with self._lock:
             self._inflight[shm.name] = shm
         return shm
+
+    def _create(self, size: int) -> shared_memory.SharedMemory:
+        if self._prefix is None:
+            return shared_memory.SharedMemory(create=True, size=size)
+        # Deterministic names; skip over leftovers from an earlier
+        # incarnation rather than failing (the sweep may not have run yet).
+        while True:
+            name = f"{self._prefix}.{self._seq}"
+            self._seq += 1
+            try:
+                return shared_memory.SharedMemory(name=name, create=True, size=size)
+            except FileExistsError:
+                continue
 
     def recycle(self, name: str) -> None:
         """Return an in-flight segment (reported idle by its receiver)."""

@@ -232,17 +232,37 @@ def run_simulation_with_tools(
     if isinstance(framework_config, dict):
         framework_config = FrameworkConfig.from_dict(framework_config)
 
-    def worker(comm: Communicator):
-        fw = CosmologyToolsFramework(framework_config)
-        fw.run(
-            sim_config,
-            comm=comm if comm.size > 1 else None,
-            checkpoint_dir=checkpoint_dir,
-            checkpoint_every=checkpoint_every,
-            resume=resume,
-        )
-        return fw.results, fw.simulation_seconds, fw.resumed_step
-
-    results = run_parallel(nranks, worker, backend=backend)
+    # Module-level worker + picklable configs: the process backend can lease
+    # persistent pool workers for the whole simulation instead of forking.
+    results = run_parallel(
+        nranks,
+        _framework_worker,
+        sim_config,
+        framework_config,
+        checkpoint_dir,
+        checkpoint_every,
+        resume,
+        backend=backend,
+    )
     sim_seconds = max(seconds for _, seconds, _ in results)
     return InsituResults(results[0][0], sim_seconds, resumed_step=results[0][2])
+
+
+def _framework_worker(
+    comm: Communicator,
+    sim_config: SimulationConfig,
+    framework_config: FrameworkConfig,
+    checkpoint_dir: str | None,
+    checkpoint_every: int,
+    resume: bool,
+):
+    """Rank worker for :func:`run_simulation_with_tools` (picklable)."""
+    fw = CosmologyToolsFramework(framework_config)
+    fw.run(
+        sim_config,
+        comm=comm if comm.size > 1 else None,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+        resume=resume,
+    )
+    return fw.results, fw.simulation_seconds, fw.resumed_step

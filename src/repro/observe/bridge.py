@@ -45,6 +45,7 @@ _COMM_COUNTERS = (
     "barrier_wait_s",
     "shm_msgs_sent",
     "shm_bytes_sent",
+    "chunk_frames_sent",
     "msgs_dropped",
     "msgs_delayed",
 )
@@ -110,23 +111,35 @@ def rank_finished(comm: Any) -> None:
 _WRAP_KEY = "__repro_observe_wrapped__"
 
 
-def process_worker(func: Callable[..., Any]) -> Callable[..., Any]:
+class process_worker:  # noqa: N801 - factory-style callable, keeps old name
     """Wrap a process-backend region worker for observation transport.
 
-    The forked child inherits the parent's enabled flag *and* its
-    already-recorded events; the wrapper clears the child's inherited
-    copies so only events recorded inside the region travel back, then
-    bundles the child's span buffer and metrics snapshot with the result.
-    Span tuples and metric snapshots are plain
-    ``str``/``int``/``float``/``dict`` data, so they serialize over the
-    pipe + shared-memory transport like any other payload.
+    A *picklable* callable (not a closure): persistent pool workers receive
+    their task over a pipe, so the wrapper must serialize along with the
+    user function.  It also carries the parent's trace-enabled flag and
+    capacity — a pool worker was forked before ``observe.enable()`` ran in
+    the parent, so fork inheritance (which the fresh-fork path relies on)
+    cannot arm tracing there; the wrapper re-arms it on entry instead.
+
+    On the way out it clears any inherited observe state so only events
+    recorded inside the region travel back, then bundles the child's span
+    buffer and metrics snapshot with the result.  Span tuples and metric
+    snapshots are plain ``str``/``int``/``float``/``dict`` data, so they
+    serialize over the pipe + shared-memory transport like any payload.
     """
 
-    @functools.wraps(func)
-    def wrapper(comm, *args: Any, **kwargs: Any):
+    def __init__(self, func: Callable[..., Any]):
+        self.func = func
+        self.trace_enabled = trace.enabled()
+        self.trace_capacity = trace.capacity() if self.trace_enabled else None
+        functools.update_wrapper(self, func)
+
+    def __call__(self, comm, *args: Any, **kwargs: Any):
+        if self.trace_enabled:
+            trace.enable(self.trace_capacity)
         trace.reset()
         registry().reset()
-        result = func(comm, *args, **kwargs)
+        result = self.func(comm, *args, **kwargs)
         rank_finished(comm)
         return {
             _WRAP_KEY: True,
@@ -134,8 +147,6 @@ def process_worker(func: Callable[..., Any]) -> Callable[..., Any]:
             "events": trace.raw_events(),
             "metrics": registry().as_dict(),
         }
-
-    return wrapper
 
 
 def absorb_process_results(wrapped_results: list[Any]) -> list[Any]:

@@ -149,6 +149,11 @@ def enabled() -> bool:
     return _enabled
 
 
+def capacity() -> int:
+    """The per-rank ring-buffer capacity applied to new buffers."""
+    return _capacity
+
+
 def reset() -> None:
     """Drop all recorded events and their buffers (capacity is kept)."""
     with _lock:

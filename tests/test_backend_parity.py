@@ -72,18 +72,26 @@ class TestTessellationParity:
 
     def test_process_backend_moves_bytes_through_shared_memory(self, monkeypatch):
         # Lower the inline threshold so the ghost payload buffers take the
-        # shared-memory path (forked ranks inherit the patched module).
+        # shared-memory path.  Forked ranks inherit the patched module, but
+        # persistent pool workers fork only once — release any pool from an
+        # earlier run so the workers fork *after* the patch, and again on
+        # the way out so the patched value doesn't leak into later tests.
         from repro.diy import transport
+        from repro.diy.process_backend import shutdown_pool
 
+        shutdown_pool()
         monkeypatch.setattr(transport, "SHM_THRESHOLD", 1024)
-        points, domain = _cloud(n=1500, seed=2)
-        tess = tessellate(points, domain, nblocks=4, exec_backend="process")
-        assert tess.timings.shm_bytes_sent > 0
-        assert tess.timings.shm_msgs_sent > 0
-        # The same run on threads never touches shared memory.
-        tess_t = tessellate(points, domain, nblocks=4, exec_backend="thread")
-        assert tess_t.timings.shm_bytes_sent == 0
-        np.testing.assert_array_equal(tess.volumes(), tess_t.volumes())
+        try:
+            points, domain = _cloud(n=1500, seed=2)
+            tess = tessellate(points, domain, nblocks=4, exec_backend="process")
+            assert tess.timings.shm_bytes_sent > 0
+            assert tess.timings.shm_msgs_sent > 0
+            # The same run on threads never touches shared memory.
+            tess_t = tessellate(points, domain, nblocks=4, exec_backend="thread")
+            assert tess_t.timings.shm_bytes_sent == 0
+            np.testing.assert_array_equal(tess.volumes(), tess_t.volumes())
+        finally:
+            shutdown_pool()  # workers forked with the patched threshold
 
 
 class TestInsituParity:

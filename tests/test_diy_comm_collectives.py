@@ -203,6 +203,72 @@ class TestTreeVsLinearOracles:
         assert max(l for _, l in out) == n - 1  # root funnels to everyone
 
 
+class TestTwoLevelTopology:
+    """The topology-aware (group + leader) collectives: group sizing,
+    the REPRO_COLL_GROUP override, and exactness against the linear
+    oracles for uneven group widths."""
+
+    def test_auto_group_sizes(self):
+        from repro.diy.comm import _coll_group_size
+
+        # Below four ranks there is nothing to amortize.
+        assert [_coll_group_size(n) for n in (1, 2, 3)] == [1, 1, 1]
+        # Largest power of two <= sqrt(size) keeps both trees balanced.
+        assert _coll_group_size(4) == 2
+        assert _coll_group_size(8) == 2
+        assert _coll_group_size(16) == 4
+        assert _coll_group_size(64) == 8
+        assert _coll_group_size(100) == 8
+
+    def test_env_override_clamped(self, monkeypatch):
+        from repro.diy.comm import _coll_group_size
+
+        monkeypatch.setenv("REPRO_COLL_GROUP", "3")
+        assert _coll_group_size(6) == 3
+        monkeypatch.setenv("REPRO_COLL_GROUP", "99")
+        assert _coll_group_size(6) == 6  # clamped to size
+        monkeypatch.setenv("REPRO_COLL_GROUP", "1")
+        assert _coll_group_size(6) == 1  # grouping disabled
+        monkeypatch.setenv("REPRO_COLL_GROUP", "garbage")
+        assert _coll_group_size(6) == 2  # fall back to the auto rule
+
+    @pytest.mark.parametrize("group", ["1", "2", "3", "4"])
+    def test_forced_group_widths_match_oracles(self, group, monkeypatch):
+        """Every group width — including uneven trailing groups (3 on 6
+        ranks leaves none, 4 leaves a half group) — must reproduce the
+        linear reference results exactly, non-commutative ops included."""
+        monkeypatch.setenv("REPRO_COLL_GROUP", group)
+
+        def worker(comm):
+            for root in range(comm.size):
+                v = {"root": root}
+                assert comm.bcast(v if comm.rank == root else None, root=root) == v
+                assert comm.gather(f"r{comm.rank}", root=root) == (
+                    [f"r{i}" for i in range(comm.size)]
+                    if comm.rank == root else None
+                )
+                tree = comm.reduce(f"[{comm.rank}]", op=_concat, root=root)
+                if comm.rank == root:
+                    assert tree == "".join(f"[{i}]" for i in range(comm.size))
+            assert comm.allreduce(f"[{comm.rank}]", op=_concat) == "".join(
+                f"[{i}]" for i in range(comm.size)
+            )
+            return True
+
+        assert all(run_parallel(6, worker))
+
+    def test_busiest_rank_message_count_stays_logarithmic(self):
+        """At 8 ranks the two-level bcast must not regress the O(log P)
+        bound the flat tree achieved (the root still sends exactly 3)."""
+
+        def worker(comm):
+            s0 = comm.stats.snapshot()
+            comm.bcast("x" if comm.rank == 0 else None, root=0)
+            return comm.stats.since(s0).msgs_sent
+
+        assert max(run_parallel(8, worker)) == 3
+
+
 class TestSparseExchange:
     def test_sparse_matches_dense_periodic_2x2x2(self):
         decomp = Decomposition(Bounds.cube(8.0), (2, 2, 2), periodic=True)

@@ -1,0 +1,229 @@
+"""Persistent rank-pool tests: reuse, invalidation, and child hygiene.
+
+The process backend's :class:`~repro.diy.process_backend.RankPool` keeps
+forked rank workers (and their shm segments and pipe mesh) alive across
+``run_parallel`` regions.  These tests pin the lease contract: the same
+worker processes serve consecutive runs with bit-identical results, any
+failure invalidates the pool and sweeps its shared memory, unpicklable
+tasks fall back to fresh forks, and no exit path — including a failed
+spawn — leaves live child processes behind.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.diy.comm import ParallelError, run_parallel
+from repro.diy.process_backend import (
+    pool_counters,
+    pool_enabled,
+    shutdown_pool,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_pool_state():
+    """Each test starts and ends without live pool workers."""
+    shutdown_pool()
+    yield
+    shutdown_pool()
+
+
+def _repro_segments() -> set:
+    try:
+        names = os.listdir("/dev/shm")
+    except OSError:
+        return set()
+    return {n for n in names if n.startswith("repro-")}
+
+
+# Module-level workers: picklable by reference, so the pool path engages.
+def _pid_worker(comm):
+    return os.getpid()
+
+
+def _collective_worker(comm, seed):
+    """Collectives + large p2p: the traffic mix of a tessellation step."""
+    rng = np.random.default_rng(seed + comm.rank)
+    big = rng.standard_normal(20_000)  # > SHM_THRESHOLD, rides shm
+    peer = (comm.rank + 1) % comm.size
+    comm.send(big, dest=peer, tag=1)
+    echoed = comm.recv(source=(comm.rank - 1) % comm.size, tag=1)
+    total = comm.allreduce(float(big.sum()))
+    gathered = comm.gather(comm.rank * 2, root=0)
+    comm.barrier()
+    return float(echoed.sum()), total, gathered, os.getpid()
+
+
+def _raise_on_rank1(comm):
+    if comm.rank == 1:
+        raise ValueError("injected failure")
+    comm.barrier()
+
+
+class TestPoolReuse:
+    @pytest.mark.parametrize("nranks", (2, 4))
+    def test_same_pids_serve_consecutive_runs(self, nranks):
+        first = run_parallel(nranks, _pid_worker, backend="process")
+        second = run_parallel(nranks, _pid_worker, backend="process")
+        assert first == second
+        assert len(set(first)) == nranks
+        assert os.getpid() not in first
+
+    def test_reuse_counters_progress(self):
+        before = dict(pool_counters)
+        run_parallel(2, _pid_worker, backend="process")
+        run_parallel(2, _pid_worker, backend="process")
+        assert pool_counters["forks"] == before["forks"] + 2
+        assert pool_counters["runs_leased"] == before["runs_leased"] + 2
+        assert pool_counters["runs_reused"] == before["runs_reused"] + 1
+
+    @pytest.mark.parametrize("nranks", (1, 2, 4))
+    def test_pooled_results_identical_to_fresh_fork(self, nranks, monkeypatch):
+        assert pool_enabled()
+        pooled = run_parallel(nranks, _collective_worker, 9, backend="process")
+        pooled2 = run_parallel(nranks, _collective_worker, 9, backend="process")
+        shutdown_pool()
+        monkeypatch.setenv("REPRO_POOL", "0")
+        assert not pool_enabled()
+        fresh = run_parallel(nranks, _collective_worker, 9, backend="process")
+        # Bit-identical payloads; only the worker PIDs may differ.
+        assert [r[:3] for r in pooled] == [r[:3] for r in fresh]
+        assert [r[:3] for r in pooled] == [r[:3] for r in pooled2]
+
+    def test_many_consecutive_leases_with_collectives(self):
+        """Regression: task-local mailbox state must be cleared *before* a
+        rank reports its result — clearing after let a fast peer's first
+        message of the next lease be dropped, deadlocking the pool on the
+        second or third reuse."""
+        pids = None
+        for i in range(6):
+            results = run_parallel(
+                4, _collective_worker, i, backend="process", recv_timeout=60
+            )
+            totals = {r[1] for r in results}
+            assert len(totals) == 1  # allreduce agreed on every rank
+            assert results[0][2] == [0, 2, 4, 6]
+            run_pids = sorted(r[3] for r in results)
+            assert pids is None or run_pids == pids
+            pids = run_pids
+
+    def test_shm_segments_persist_across_leases_and_die_with_pool(self):
+        baseline = _repro_segments()
+        run_parallel(2, _collective_worker, 1, backend="process")
+        after_first = _repro_segments() - baseline
+        assert after_first  # the big sends allocated pooled segments
+        run_parallel(2, _collective_worker, 2, backend="process")
+        after_second = _repro_segments() - baseline
+        # Pool reuse keeps the first lease's segments alive for recycling.
+        assert after_first <= after_second
+        shutdown_pool()
+        assert _repro_segments() == baseline
+
+
+class TestPoolInvalidation:
+    def test_failure_invalidates_then_next_run_reforks(self):
+        before = pool_counters["invalidations"]
+        healthy = run_parallel(2, _pid_worker, backend="process")
+        with pytest.raises(ParallelError) as exc:
+            run_parallel(2, _raise_on_rank1, backend="process")
+        assert exc.value.rank == 1
+        assert pool_counters["invalidations"] == before + 1
+        replacement = run_parallel(2, _pid_worker, backend="process")
+        assert set(healthy).isdisjoint(replacement)
+
+    def test_invalidation_sweeps_pool_segments(self):
+        baseline = _repro_segments()
+        run_parallel(2, _collective_worker, 3, backend="process")
+        assert _repro_segments() - baseline
+        with pytest.raises(ParallelError):
+            run_parallel(2, _raise_on_rank1, backend="process")
+        assert _repro_segments() == baseline
+
+    def test_unpicklable_task_falls_back_to_fresh_fork(self):
+        box = []  # closing over a live list defeats pickle
+
+        def worker(comm):
+            box.append(comm.rank)
+            return os.getpid()
+
+        before = dict(pool_counters)
+        first = run_parallel(2, worker, backend="process")
+        second = run_parallel(2, worker, backend="process")
+        assert pool_counters["fallback_runs"] == before["fallback_runs"] + 2
+        assert pool_counters["runs_leased"] == before["runs_leased"]
+        # Fresh forks every region: distinct worker processes each time.
+        assert set(first).isdisjoint(second)
+
+
+class TestSpawnFailure:
+    """A failed fork must not strand the ranks already started."""
+
+    def _arm_failing_spawn(self, monkeypatch, fail_at: int):
+        from repro.diy import process_backend
+
+        spawned = []
+        original = process_backend._spawn_rank
+
+        def failing(ctx, target, args, rank):
+            if len(spawned) == fail_at:
+                raise OSError("fork: resource temporarily unavailable")
+            proc = original(ctx, target, args, rank)
+            spawned.append(proc)
+            return proc
+
+        monkeypatch.setattr(process_backend, "_spawn_rank", failing)
+        return spawned
+
+    def test_fresh_fork_spawn_failure_leaves_no_children(self, monkeypatch):
+        from repro.diy.process_backend import run_parallel_processes
+
+        spawned = self._arm_failing_spawn(monkeypatch, fail_at=2)
+        with pytest.raises(OSError, match="fork"):
+            run_parallel_processes(
+                4, _pid_worker, (), {}, use_pool=False
+            )
+        assert len(spawned) == 2
+        for proc in spawned:
+            proc.join(timeout=10.0)
+            assert not proc.is_alive()
+            assert proc.exitcode is not None
+
+    def test_pool_spawn_failure_leaves_no_children(self, monkeypatch):
+        spawned = self._arm_failing_spawn(monkeypatch, fail_at=2)
+        with pytest.raises(OSError, match="fork"):
+            run_parallel(4, _pid_worker, backend="process")
+        assert len(spawned) == 2
+        for proc in spawned:
+            proc.join(timeout=10.0)
+            assert not proc.is_alive()
+        # The half-built pool must not be handed to the next caller: with
+        # the seam restored the next run forks a full healthy pool.
+        monkeypatch.undo()
+        pids = run_parallel(4, _pid_worker, backend="process")
+        assert len(set(pids)) == 4
+
+
+class TestTaskWire:
+    def test_fault_spec_ships_with_pooled_task(self):
+        """Pool workers forked before the injector was armed must still see
+        it: the active FaultSpec rides the task wire."""
+        from repro import faults
+
+        run_parallel(2, _pid_worker, backend="process")  # warm the pool
+        faults.install(faults.FaultSpec(seed=5, delay_rate=1.0, delay_s=0.0))
+        try:
+            delayed = run_parallel(2, _delay_probe, backend="process")
+        finally:
+            faults.clear()
+        assert delayed[0] >= 1
+
+
+def _delay_probe(comm):
+    if comm.rank == 0:
+        comm.send("x", dest=1, tag=1)
+    else:
+        comm.recv(source=0, tag=1)
+    comm.barrier()
+    return comm.stats.msgs_delayed

@@ -146,6 +146,48 @@ class TestRankKill:
         assert elapsed < 30.0  # bounded detection, not the 60 s recv timeout
 
 
+def _shm_heavy_sim_worker(comm, cfg):
+    """Picklable rank worker (pool path): allocate shm segments, then run a
+    simulation the fault injector can kill mid-step."""
+    comm.gather(np.full(100_000, float(comm.rank)), root=0)
+    sim = HACCSimulation(cfg, comm=comm)
+    sim.run()
+
+
+class TestShmReclaim:
+    @staticmethod
+    def _repro_segments():
+        try:
+            names = os.listdir("/dev/shm")
+        except OSError:
+            return set()
+        return {n for n in names if n.startswith("repro-")}
+
+    def test_killed_rank_shm_segments_reclaimed(self):
+        """Satellite regression: a rank hard-killed by fault injection never
+        unlinks its pooled segments itself — the parent's prefix sweep must,
+        or repeated fault-injection runs exhaust /dev/shm."""
+        from repro.diy.process_backend import shutdown_pool
+
+        shutdown_pool()
+        baseline = self._repro_segments()
+        cfg = SimulationConfig(np_side=8, nsteps=4, seed=11)
+        for round_no in range(3):
+            faults.install(
+                faults.FaultSpec(kill_rank=1, kill_step=2, kill_mode="exit")
+            )
+            with pytest.raises(ParallelError) as exc:
+                run_parallel(
+                    2, _shm_heavy_sim_worker, cfg,
+                    backend="process", recv_timeout=60.0,
+                )
+            faults.clear()
+            assert isinstance(exc.value.original, RankDiedError)
+            # Every round's pool (and its /dev/shm segments, including the
+            # dead rank's) is reclaimed before the error reaches the caller.
+            assert self._repro_segments() == baseline, f"round {round_no}"
+
+
 class TestKillAndResume:
     CFG = SimulationConfig(np_side=8, nsteps=6, seed=7)
 
