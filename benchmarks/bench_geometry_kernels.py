@@ -1,0 +1,117 @@
+"""Geometry-engine kernels: Delaunay-direct vs scipy-Voronoi flat engine.
+
+PR 7 replaced the flat engine's ``scipy.spatial.Voronoi`` call with a
+Delaunay-direct construction (:class:`~repro.geometry.voronoi_delaunay.
+DelaunayVoronoi`): circumcenters, ridge rings, areas and volumes are all
+derived from one ``scipy.spatial.Delaunay`` plus batched NumPy / native C
+kernels, skipping qhull's ``v`` mode entirely.  This bench times both
+engines on the Table II-style uniform workload (same points, same box)
+and reports the ratio; the perf gate encodes the acceptance bar as the
+absolute limit ``geom.delaunay_over_flat <= 0.4`` (>= 2.5x speedup).
+
+The timing only counts if the engines agree, so each run also asserts
+parity: identical complete masks, identical adjacency edge sets, and
+volumes/areas matching to 1e-9 relative on complete cells.
+
+Run directly (``python benchmarks/bench_geometry_kernels.py [--quick]``)
+or via pytest / the perf gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from conftest import write_report  # noqa: E402
+
+from repro import _native
+from repro.diy.bounds import Bounds
+from repro.geometry.voronoi_delaunay import DelaunayVoronoi
+from repro.geometry.voronoi_flat import FlatVoronoi
+
+
+def _time(fn, repeats: int) -> tuple[float, object]:
+    best = np.inf
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _edge_set(engine) -> set[tuple[int, int]]:
+    s = np.sort(engine.ridge_sites, axis=1)
+    return set(map(tuple, s.tolist()))
+
+
+def _assert_parity(dv: DelaunayVoronoi, fv: FlatVoronoi) -> None:
+    assert np.array_equal(dv.complete, fv.complete), "complete masks differ"
+    assert _edge_set(dv) == _edge_set(fv), "adjacency edge sets differ"
+    done = dv.complete
+    np.testing.assert_allclose(
+        dv.volumes[done], fv.volumes[done], rtol=1e-9
+    )
+    np.testing.assert_allclose(dv.areas[done], fv.areas[done], rtol=1e-9)
+
+
+def run_bench(quick: bool = True) -> tuple[list[str], dict]:
+    """Time both flat engines on the same block; return (lines, metrics)."""
+    np_side = 16 if quick else 24
+    repeats = 3 if quick else 2
+    n = np_side**3
+    box = float(np_side)
+    rng = np.random.default_rng(7)
+    pts = rng.uniform(0.0, box, size=(n, 3))
+    bounds = Bounds.cube(box)
+
+    flat_s, fv = _time(lambda: FlatVoronoi(pts, bounds), repeats)
+    delaunay_s, dv = _time(lambda: DelaunayVoronoi(pts, bounds), repeats)
+    _assert_parity(dv, fv)
+
+    ratio = delaunay_s / flat_s if flat_s > 0 else np.inf
+    speedup = flat_s / delaunay_s if delaunay_s > 0 else np.inf
+    native = _native.available()
+    lines = [
+        f"geometry kernels: {n} sites ({np_side}^3), "
+        f"{dv.num_ridges} finite ridges, best of {repeats}, "
+        f"native={'yes' if native else 'no (' + str(_native.build_error()) + ')'}",
+        f"  scipy-Voronoi flat engine  {flat_s:8.4f} s",
+        f"  Delaunay-direct engine     {delaunay_s:8.4f} s",
+        f"  ratio (delaunay/flat)      {ratio:8.4f}   ({speedup:.1f}x speedup)",
+    ]
+    data = {
+        "np_side": np_side,
+        "num_ridges": dv.num_ridges,
+        "native": native,
+        "flat_s": flat_s,
+        "delaunay_s": delaunay_s,
+        "delaunay_over_flat": ratio,
+    }
+    return lines, data
+
+
+def test_geometry_kernels_quick():
+    """Pytest entry point: quick mode, persisted like the other benches."""
+    lines, data = run_bench(quick=True)
+    write_report("geometry_kernels", lines)
+    assert data["delaunay_over_flat"] <= 0.6  # perf gate holds the 0.4 bar
+
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--quick", action="store_true",
+                   help="16^3 sites instead of the acceptance-scale 24^3")
+    args = p.parse_args(argv)
+    lines, _ = run_bench(quick=args.quick)
+    write_report("geometry_kernels", lines)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

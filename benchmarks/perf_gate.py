@@ -2,7 +2,8 @@
 
 Collects the machine-readable outputs of the backend-scaling sweep
 (:mod:`benchmarks.bench_backend_scaling`), the void-finder kernel bench
-(:mod:`benchmarks.bench_void_scaling`), and the trace-overhead bench
+(:mod:`benchmarks.bench_void_scaling`), the geometry-engine bench
+(:mod:`benchmarks.bench_geometry_kernels`), and the trace-overhead bench
 (:mod:`benchmarks.bench_trace_overhead`) plus the process peak RSS into a
 flat ``{metric: value}`` dict, writes it to ``BENCH_pr.json``, and — with
 ``--check`` — compares it against the committed baseline
@@ -54,6 +55,10 @@ DEFAULT_LIMITS = {
     # persistent rank pool + two-level collectives keep overhead below the
     # per-rank work saved by splitting the domain
     "scaling.process.r4_over_r1": 1.0,
+    # the Delaunay-direct flat engine must stay >= 2.5x faster than the
+    # scipy.spatial.Voronoi flat engine (PR 7 acceptance bar):
+    # delaunay_s / flat_s <= 0.4
+    "geom.delaunay_over_flat": 0.4,
 }
 #: per-metric relative thresholds seeded into a fresh baseline — these
 #: metrics jitter well beyond 25% between identical runs on a shared box
@@ -62,6 +67,8 @@ BASELINE_THRESHOLDS = {
     "mem.peak_rss_bytes": 0.5,
     "voids.dict_s": 0.5,
     "voids.flat_s": 0.5,
+    "geom.flat_s": 0.5,
+    "geom.delaunay_s": 0.5,
 }
 #: baselines smaller than the floor for their unit are too noisy to gate
 NOISE_FLOORS = (
@@ -82,6 +89,7 @@ def _noise_floor(metric: str) -> float:
 def collect(quick: bool = True) -> dict[str, float]:
     """Run the tracked benches; return the flat metrics dict."""
     from bench_backend_scaling import run_sweep
+    from bench_geometry_kernels import run_bench as run_geom_bench
     from bench_trace_overhead import run_bench
     from bench_void_scaling import run_bench as run_void_bench
 
@@ -108,6 +116,11 @@ def collect(quick: bool = True) -> dict[str, float]:
     metrics["voids.dict_s"] = voids["dict_s"]
     metrics["voids.flat_s"] = voids["flat_s"]
     metrics["voids.flat_over_dict"] = voids["flat_s"] / voids["dict_s"]
+
+    _, geom = run_geom_bench(quick=quick)
+    metrics["geom.flat_s"] = geom["flat_s"]
+    metrics["geom.delaunay_s"] = geom["delaunay_s"]
+    metrics["geom.delaunay_over_flat"] = geom["delaunay_over_flat"]
 
     _, overhead = run_bench(quick=quick)
     metrics["trace.overhead_pct"] = overhead["overhead_pct"]

@@ -128,17 +128,37 @@ def dtfe_grid(
     each Delaunay tetrahedron, fully vectorized: one ``find_simplex`` query
     locates all grid points, and the barycentric weights come from the
     stored affine transforms.
+
+    The padded point set is triangulated **once**: the same
+    ``scipy.spatial.Delaunay`` provides the point-location walk, and its
+    ``simplices``/``neighbors`` arrays are rewrapped as a
+    :class:`~repro.geometry.delaunay.DelaunayMesh` for the star-volume
+    densities (the one-triangulation sharing contract, DESIGN.md §11).
     """
     from scipy.spatial import Delaunay as SciDelaunay
 
+    from ..geometry.delaunay import DelaunayMesh
+
     pts = np.asarray(points, dtype=float)
-    rho = dtfe_density(pts, domain=domain, masses=masses)
+    n = len(pts)
+    m = np.ones(n) if masses is None else np.asarray(masses, dtype=float)
+    if len(m) != n:
+        raise ValueError("masses length mismatch")
 
     pad = 0.25 * float(domain.sizes.min())
     all_pts, origin = _padded_periodic(wrap_positions(pts, domain), domain, pad)
-    rho_all = rho[origin]
 
     tri = SciDelaunay(all_pts)
+    mesh = DelaunayMesh(
+        points=all_pts,
+        tetrahedra=tri.simplices.astype(np.int64),
+        neighbors=tri.neighbors.astype(np.int64),
+    )
+    primary = mesh.vertex_star_volumes()[:n]
+    with np.errstate(divide="ignore"):
+        rho = np.where(primary > 0, 4.0 * m / primary, np.nan)
+    rho_all = rho[origin]
+
     lo, _ = domain.as_arrays()
     axes = [
         lo[a] + (np.arange(grid_size) + 0.5) * domain.sizes[a] / grid_size

@@ -41,8 +41,11 @@ def _build_tess_parser() -> argparse.ArgumentParser:
     p.add_argument("--blocks", type=int, default=1, help="block/rank count")
     p.add_argument("--ghost", type=float, default=None,
                    help="ghost-zone size (default: 4 mean spacings)")
-    p.add_argument("--backend", choices=("qhull", "clip"), default="qhull",
-                   help="geometry backend")
+    p.add_argument("--backend", choices=("delaunay", "qhull", "clip"),
+                   default="delaunay",
+                   help="geometry backend (delaunay: Delaunay-direct flat "
+                        "engine; qhull: scipy Voronoi flat engine; clip: "
+                        "per-cell halfspace clipping)")
     p.add_argument("--exec-backend", choices=("thread", "process"),
                    default="thread", dest="exec_backend",
                    help="SPMD execution backend: thread (default; GIL-bound) "

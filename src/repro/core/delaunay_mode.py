@@ -29,11 +29,11 @@ import numpy as np
 from ..diy.bounds import Bounds, wrap_positions
 from ..diy.comm import Communicator, run_parallel
 from ..diy.decomposition import Decomposition
-from ..geometry.delaunay import circumcenters, circumradii, delaunay
+from ..geometry.delaunay import circumcenters, delaunay
 from .ghost import exchange_ghost_particles
 
 __all__ = ["DelaunayBlock", "DistributedDelaunay", "delaunay_distributed",
-           "tessellate_delaunay"]
+           "dual_distributed", "tessellate_delaunay"]
 
 
 @dataclass
@@ -114,20 +114,52 @@ def delaunay_distributed(
         )
 
     mesh = delaunay(all_pos)
+    return _block_from_mesh(
+        mesh, all_ids, decomposition, block_def, ghost, gid
+    )
+
+
+def _block_from_mesh(
+    mesh,
+    all_ids: np.ndarray,
+    decomposition: Decomposition,
+    block_def,
+    ghost: float,
+    gid: int,
+    centers: np.ndarray | None = None,
+) -> DelaunayBlock:
+    """Certify, own, and dedup one block's tetrahedra from its local mesh.
+
+    ``centers`` may pass precomputed circumcenters of ``mesh``'s tets (the
+    dual-mode sharing path reuses the Voronoi engine's vertex pool);
+    otherwise they are computed here.
+    """
     # Periodic ghost images make many points exactly cospherical/coplanar;
     # Qhull then emits zero-volume slivers whose circumcenter system is
     # singular.  They can never be owned tets (a true periodic Delaunay
     # has no degenerate cells at generic sites) — drop them up front.
     vols_all = mesh.volumes()
-    vol_floor = 1e-9 * max(float(np.median(vols_all[vols_all > 0])), 1e-300)
+    positive = vols_all[vols_all > 0]
+    if len(positive) == 0:
+        return DelaunayBlock(
+            gid=gid,
+            tetrahedra=np.empty((0, 4), dtype=np.int64),
+            circumcenters=np.empty((0, 3)),
+            volumes=np.empty(0),
+        )
+    vol_floor = 1e-9 * max(float(np.median(positive)), 1e-300)
     solid = vols_all > vol_floor
     mesh = type(mesh)(
         points=mesh.points,
         tetrahedra=mesh.tetrahedra[solid],
         neighbors=mesh.neighbors[solid],
     )
-    centers = circumcenters(mesh)
-    radii = circumradii(mesh)
+    if centers is None:
+        centers = circumcenters(mesh)
+    else:
+        centers = centers[solid]
+    d = centers - mesh.points[mesh.tetrahedra[:, 0]]
+    radii = np.sqrt(np.einsum("ij,ij->i", d, d))
 
     # Certification: circumsphere inside the seen region (core + ghost).
     seen = block_def.ghost_bounds(ghost)
@@ -155,6 +187,58 @@ def delaunay_distributed(
         circumcenters=centers[keep],
         volumes=mesh.volumes()[keep],
     )
+
+
+def dual_distributed(
+    comm: Communicator,
+    decomposition: Decomposition,
+    positions: np.ndarray,
+    ids: np.ndarray,
+    ghost: float,
+    vmin: float | None = None,
+    vmax: float | None = None,
+    gid: int | None = None,
+):
+    """Both tessellation outputs from **one** triangulation per block.
+
+    The Delaunay-direct Voronoi engine keeps its triangulation
+    (:attr:`~repro.geometry.voronoi_delaunay.DelaunayVoronoi.mesh`) and
+    its circumcenter pool, so the dual output mode costs one qhull call
+    and one ghost exchange instead of two of each — the
+    one-triangulation-per-block sharing contract (DESIGN.md §11).
+
+    Returns ``(voronoi_block, delaunay_block)`` for this rank's block.
+    """
+    from ..geometry.voronoi_delaunay import DelaunayVoronoi
+    from .tessellate import _block_from_flat
+
+    gid = comm.rank if gid is None else gid
+    block_def = decomposition.block(gid)
+
+    ghost_pos, ghost_ids = exchange_ghost_particles(
+        decomposition, comm, gid, positions, ids, ghost
+    )
+    own = np.atleast_2d(np.asarray(positions, dtype=float))
+    all_pos = np.concatenate([own, ghost_pos]) if len(ghost_pos) else own
+    all_ids = np.concatenate([np.asarray(ids, dtype=np.int64), ghost_ids])
+
+    dv = DelaunayVoronoi(all_pos, block_def.ghost_bounds(ghost))
+    vblock = _block_from_flat(
+        dv, len(own), all_pos, all_ids, gid, block_def.core, vmin, vmax
+    )
+    if dv.num_tets == 0:
+        dblock = DelaunayBlock(
+            gid=gid,
+            tetrahedra=np.empty((0, 4), dtype=np.int64),
+            circumcenters=np.empty((0, 3)),
+            volumes=np.empty(0),
+        )
+    else:
+        dblock = _block_from_mesh(
+            dv.mesh, all_ids, decomposition, block_def, ghost, gid,
+            centers=dv.tet_circumcenters,
+        )
+    return vblock, dblock
 
 
 def tessellate_delaunay(

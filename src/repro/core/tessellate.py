@@ -30,16 +30,37 @@ from ..diy.bounds import Bounds
 from ..diy.comm import Communicator, run_parallel
 from ..diy.decomposition import Decomposition
 from ..geometry.voronoi_cells import voronoi_cells_clip
+from ..geometry.voronoi_delaunay import DelaunayVoronoi
+from ..geometry.voronoi_flat import FlatVoronoi
 from ..geometry.voronoi_qhull import voronoi_cells_qhull
 from .cell import VoronoiCell
-from .culling import exact_cull_mask, passes_early_cull
+from .culling import early_cull_mask, exact_cull_mask, passes_early_cull
 from .data_model import VoronoiBlock, connectivity_index_dtype
 from .ghost import exchange_ghost_particles
 from .timing import PhaseTimer, TessTimings
 
 __all__ = ["tessellate_block", "tessellate_distributed", "tessellate", "Tessellation"]
 
+#: per-cell oracle backends (cross-validation; see DESIGN.md §11)
 _BACKENDS = {"clip": voronoi_cells_clip, "qhull": voronoi_cells_qhull}
+#: flat whole-block engines; "delaunay" is the production default,
+#: "qhull" (FlatVoronoi over scipy Voronoi) is its first-line oracle
+_FLAT_ENGINES = {"delaunay": DelaunayVoronoi, "qhull": FlatVoronoi}
+
+
+def _observe_geometry(fv, n_owned: int) -> None:
+    """Surface geometry counters so traces attribute compute time to
+    mesh size (geom.* metrics; merged across ranks by the bridge)."""
+    reg = observe.registry()
+    reg.counter("geom.tets").inc(fv.num_tets)
+    reg.counter("geom.finite_ridges").inc(fv.num_ridges)
+    reg.counter("geom.complete_cells").inc(int(fv.complete[:n_owned].sum()))
+    if fv.degenerate_ridges_dropped:
+        reg.counter("geom.degenerate_ridges_dropped").inc(
+            fv.degenerate_ridges_dropped
+        )
+    if fv.used_fallback:
+        reg.counter("geom.degenerate_fallbacks").inc()
 
 
 def _tessellate_block_flat(
@@ -52,17 +73,17 @@ def _tessellate_block_flat(
     extents: Bounds,
     vmin: float | None,
     vmax: float | None,
+    backend: str = "delaunay",
 ) -> VoronoiBlock:
-    """Vectorized block tessellation (production Qhull path).
+    """Vectorized block tessellation (production flat path).
 
-    Semantically identical to :func:`tessellate_block` + ``from_cells`` for
-    the qhull backend: the early conservative cull is subsumed by the exact
-    cull (any cell it would remove fails the exact threshold too), and the
-    block vertex pool comes directly from Qhull's global pool, already
-    deduplicated.
+    ``backend`` picks the flat geometry engine: ``"delaunay"`` (the
+    Delaunay-direct production engine) or ``"qhull"`` (FlatVoronoi over
+    ``scipy.spatial.Voronoi``, retained as the cross-validation oracle).
+    Semantically identical to :func:`tessellate_block` + ``from_cells``:
+    the block vertex pool comes directly from the engine's global pool,
+    already deduplicated.
     """
-    from ..geometry.voronoi_flat import FlatVoronoi
-
     n_owned = len(owned_positions)
     all_points = (
         np.concatenate([owned_positions, np.atleast_2d(ghost_positions)])
@@ -72,9 +93,40 @@ def _tessellate_block_flat(
     local_to_global = np.concatenate(
         [np.asarray(owned_ids, dtype=np.int64), np.asarray(ghost_ids, dtype=np.int64)]
     )
-    fv = FlatVoronoi(all_points, container)
+    fv = _FLAT_ENGINES[backend](all_points, container)
+    return _block_from_flat(
+        fv, n_owned, all_points, local_to_global, gid, extents, vmin, vmax
+    )
+
+
+def _block_from_flat(
+    fv,
+    n_owned: int,
+    all_points: np.ndarray,
+    local_to_global: np.ndarray,
+    gid: int,
+    extents: Bounds,
+    vmin: float | None,
+    vmax: float | None,
+) -> VoronoiBlock:
+    """Assemble a :class:`VoronoiBlock` from a flat geometry engine.
+
+    Shared by the production path and the dual mode
+    (:func:`repro.core.delaunay_mode.dual_distributed`), which builds the
+    engine itself so the one triangulation can serve both outputs.
+    """
+    if observe.enabled():
+        _observe_geometry(fv, n_owned)
 
     keep = fv.complete[:n_owned].copy()
+    if vmin is not None and keep.any():
+        # Step 3c: conservative early cull on the max vertex separation
+        # (isodiametric bound) before the exact threshold — any cell it
+        # removes fails the exact cull too, so results are unchanged.
+        sites = np.flatnonzero(keep)
+        keep[sites] = early_cull_mask(
+            fv.max_vertex_separations(sites), vmin
+        )
     if vmin is not None:
         keep &= fv.volumes[:n_owned] >= vmin
     if vmax is not None:
@@ -208,7 +260,7 @@ def tessellate_distributed(
     positions: np.ndarray,
     ids: np.ndarray,
     ghost: float,
-    backend: str = "qhull",
+    backend: str = "delaunay",
     vmin: float | None = None,
     vmax: float | None = None,
     output_path: str | None = None,
@@ -218,8 +270,10 @@ def tessellate_distributed(
 
     Every rank calls this collectively with its owned particles; the rank's
     block is ``gid`` (default: its rank, the one-block-per-process layout).
-    Returns ``(block, timings, output_bytes)``; ``output_bytes`` is 0 when
-    no ``output_path`` is given.
+    ``backend`` selects the geometry engine: ``"delaunay"`` (production)
+    or ``"qhull"`` for the flat whole-block path, ``"clip"`` for the
+    per-cell oracle.  Returns ``(block, timings, output_bytes)``;
+    ``output_bytes`` is 0 when no ``output_path`` is given.
     """
     gid = comm.rank if gid is None else gid
     block_def = decomposition.block(gid)
@@ -232,7 +286,7 @@ def tessellate_distributed(
         )
 
     with timer.phase("compute"):
-        if backend == "qhull":
+        if backend in _FLAT_ENGINES:
             # Production path: fully vectorized flat-array assembly.
             block = _tessellate_block_flat(
                 np.atleast_2d(np.asarray(positions, dtype=float)),
@@ -244,6 +298,7 @@ def tessellate_distributed(
                 extents=block_def.core,
                 vmin=vmin,
                 vmax=vmax,
+                backend=backend,
             )
         else:
             cells = tessellate_block(
@@ -358,7 +413,7 @@ def tessellate(
     ghost: float | None = None,
     ids: np.ndarray | None = None,
     periodic: bool = True,
-    backend: str = "qhull",
+    backend: str = "delaunay",
     vmin: float | None = None,
     vmax: float | None = None,
     output_path: str | None = None,
@@ -378,7 +433,7 @@ def tessellate(
     deterministic, GIL-bound) or ``"process"`` (one OS process per rank,
     true hardware parallelism — see :func:`repro.diy.comm.run_parallel`).
     Results are bit-identical between the two.  ``backend`` remains the
-    *geometry* backend (qhull/clip).
+    *geometry* backend (delaunay/qhull/clip).
 
     Parameters mirror the distributed primitive; see
     :func:`tessellate_distributed`.
@@ -498,12 +553,12 @@ def _multi_block_worker(
             own_pos, own_ids = particles_by_gid[gid]
             gpos, gid_ids = ghosts[gid]
             block_def = decomp.block(gid)
-            if backend == "qhull":
+            if backend in _FLAT_ENGINES:
                 block = _tessellate_block_flat(
                     np.atleast_2d(own_pos), own_ids, gpos, gid_ids,
                     container=block_def.ghost_bounds(ghost),
                     gid=gid, extents=block_def.core,
-                    vmin=vmin, vmax=vmax,
+                    vmin=vmin, vmax=vmax, backend=backend,
                 )
             else:
                 cells = tessellate_block(

@@ -12,6 +12,8 @@ from .delaunay import DelaunayMesh, circumcenters, circumradii, delaunay
 from .polyhedron import WALL_IDS, ConvexPolyhedron
 from .predicates import DEFAULT_REL_EPS, classify_against_plane, orient3d, scale_eps
 from .voronoi_cells import VoronoiCellGeometry, voronoi_cells_clip
+from .voronoi_delaunay import DelaunayVoronoi, tet_circumcenters
+from .voronoi_flat import FlatVoronoi
 from .voronoi_qhull import voronoi_cells_qhull
 
 __all__ = [
@@ -31,6 +33,9 @@ __all__ = [
     "VoronoiCellGeometry",
     "voronoi_cells_clip",
     "voronoi_cells_qhull",
+    "DelaunayVoronoi",
+    "FlatVoronoi",
+    "tet_circumcenters",
 ]
 
 

@@ -1,0 +1,472 @@
+"""Delaunay-direct flat Voronoi engine (production tessellation path).
+
+:class:`DelaunayVoronoi` builds the same flat-CSR Voronoi interface as
+:class:`~repro.geometry.voronoi_flat.FlatVoronoi` without ever calling
+``scipy.spatial.Voronoi``.  A raw ``scipy.spatial.Delaunay`` is ~2x
+cheaper than the Voronoi call on the same points *and* returns pure
+ndarrays (``simplices``, ``neighbors``), so the whole diagram can be
+derived with array passes and no list-of-lists flattening:
+
+* Voronoi vertices are the circumcenters of the Delaunay tetrahedra —
+  one batched Cramer solve over all tets;
+* each tet contributes its 6 edges; grouping the 6m (edge -> tet)
+  incidences by edge key collects, per Delaunay edge, the ring of tets
+  whose circumcenters are exactly the dual ridge polygon of that
+  site pair;
+* a ridge is finite iff its Delaunay edge is interior — hull edges (the
+  edges of faces with ``neighbors == -1``) dualize to unbounded ridges,
+  and hull *sites* are the unbounded cells;
+* each finite ring is ordered by angle around the site-pair axis, then
+  coincident circumcenters (cospherical point sets — lattices —
+  triangulate into slivers whose circumcenters collide) are merged by
+  tolerance; rings left with fewer than three distinct vertices are
+  dropped as degenerate, so lattice inputs do not fabricate zero-area
+  ridges or phantom adjacency;
+* volumes/areas come from the same segmented Newell + bisector-pyramid
+  identity as FlatVoronoi, completeness from hull incidence plus an
+  all-circumcenters-inside-the-container test.
+
+The per-ring order/dedup/Newell work runs in a compiled C kernel when
+:mod:`repro._native` can build one (it fuses ~15 NumPy passes into one
+loop); otherwise an equivalent vectorized NumPy path is taken.  Both
+paths are exercised by the parity tests.
+
+Qhull's int32 ``simplices`` are promoted to int64 on entry (PR 5's
+id-safety rule: downstream CSR indices must not wrap at 2**31).
+
+The one Delaunay triangulation can be shared: pass a prebuilt
+``scipy.spatial.Delaunay`` (or :class:`~repro.geometry.delaunay.
+DelaunayMesh`) via ``mesh=``, and read :attr:`DelaunayVoronoi.mesh` /
+:attr:`DelaunayVoronoi.tet_circumcenters` to reuse the triangulation for
+the dual output mode (:mod:`repro.core.delaunay_mode`) or DTFE density
+estimation — one qhull call per block, shared by every consumer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import _native
+from ..diy.bounds import Bounds
+from .voronoi_flat import FlatVoronoiBase
+
+__all__ = ["DelaunayVoronoi", "tet_circumcenters"]
+
+#: the 6 vertex pairs (edges) of a tetrahedron
+_TET_EDGES = np.array(
+    [[0, 1], [0, 2], [0, 3], [1, 2], [1, 3], [2, 3]], dtype=np.int64
+)
+#: vertex triples of the face opposite each tet vertex (scipy convention)
+_TET_FACES = np.array(
+    [[1, 2, 3], [0, 2, 3], [0, 1, 3], [0, 1, 2]], dtype=np.int64
+)
+#: the 3 vertex pairs (edges) of a triangular face
+_FACE_EDGES = np.array([[0, 1], [0, 2], [1, 2]], dtype=np.int64)
+
+#: relative tolerance (of the container diagonal) under which two ring
+#: circumcenters are the same Voronoi vertex
+_COINCIDENT_RTOL = 1e-9
+
+
+def _lstsq_fixup(centers, pts, tets, bad):
+    """Re-solve the exactly singular tets (NaN/inf centers) one by one."""
+    for i in np.flatnonzero(bad):
+        a = pts[tets[i, 0]]
+        rows = pts[tets[i, 1:]] - a
+        rhs = 0.5 * np.einsum("ij,ij->i", rows, rows)
+        centers[i] = np.linalg.lstsq(rows, rhs, rcond=None)[0] + a
+
+
+def tet_circumcenters(points: np.ndarray, tets: np.ndarray) -> np.ndarray:
+    """Circumcenters of tetrahedra: batched Cramer's rule.
+
+    Row ``k`` of the per-tet system equates the center's distance to
+    vertex 0 and vertex ``k+1``.  Exactly singular systems (degenerate
+    slivers) fall back to least squares; the resulting far-away center
+    is merged/culled by the coincidence tolerance later.
+    """
+    points = np.ascontiguousarray(points, dtype=np.float64)
+    tets = np.ascontiguousarray(tets, dtype=np.int64)
+    native = _native.lib()
+    if native is not None:
+        out = np.empty((len(tets), 3))
+        nbad = native.tet_circumcenters(points, tets, len(tets), out)
+        if nbad:
+            _lstsq_fixup(
+                out, points, tets, ~np.isfinite(out).all(axis=1)
+            )
+        return out
+
+    a = points[tets[:, 0]]
+    rows = np.stack([points[tets[:, k]] - a for k in (1, 2, 3)], axis=1)
+    rhs = 0.5 * np.einsum("ijk,ijk->ij", rows, rows)
+    c23 = np.cross(rows[:, 1], rows[:, 2])
+    c31 = np.cross(rows[:, 2], rows[:, 0])
+    c12 = np.cross(rows[:, 0], rows[:, 1])
+    det = np.einsum("ij,ij->i", rows[:, 0], c23)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        centers = (
+            rhs[:, :1] * c23 + rhs[:, 1:2] * c31 + rhs[:, 2:] * c12
+        ) / det[:, None]
+    centers += a
+    bad = ~np.isfinite(centers).all(axis=1)
+    if bad.any():
+        _lstsq_fixup(centers, points, tets, bad)
+    return centers
+
+
+class DelaunayVoronoi(FlatVoronoiBase):
+    """Flat-CSR Voronoi diagram computed directly from a Delaunay mesh.
+
+    Same interface and attribute semantics as :class:`FlatVoronoi` (see
+    its docstring); the vertex pool is the per-tet circumcenter array, so
+    ``vertices[t]`` is the circumcenter of tet ``t`` and
+    :attr:`tet_circumcenters` aliases it.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 3)`` sites.
+    box:
+        Container bounds; cells with a vertex outside are incomplete.
+    mesh:
+        Optional prebuilt triangulation of exactly ``points`` — a
+        ``scipy.spatial.Delaunay`` or a
+        :class:`~repro.geometry.delaunay.DelaunayMesh` — to skip the
+        qhull call (the one-triangulation-per-block sharing contract).
+    """
+
+    def __init__(self, points: np.ndarray, box: Bounds, mesh=None):
+        pts = np.ascontiguousarray(points, dtype=np.float64)
+        if pts.ndim != 2 or pts.shape[1] != 3:
+            raise ValueError(f"points must be (n, 3), got {pts.shape}")
+        n = len(pts)
+        self.points = pts
+        self.box = box
+        if n < 5:
+            self._init_degenerate(n)
+            return
+
+        tets, nbrs, coplanar = self._triangulate(pts, mesh)
+        if tets is None:
+            self._init_degenerate(n)
+            return
+        # Qhull's Qz option (used by the joggle fallback) can leave a
+        # synthetic point-at-infinity (index >= n) in the simplices on
+        # degenerate input.  Drop those tets — their faces dualize to
+        # nothing real — remapping severed neighbor links to -1 so the
+        # touched sites register as unbounded below.
+        synth = (tets >= n).any(axis=1)
+        if synth.any():
+            remap = np.full(len(tets) + 1, -1, dtype=np.int64)
+            remap[np.flatnonzero(~synth)] = np.arange(int((~synth).sum()))
+            tets = tets[~synth]
+            nbrs = remap[nbrs[~synth]]
+            if len(tets) == 0:
+                self._init_degenerate(n)
+                return
+        tets = np.ascontiguousarray(tets)
+        m = len(tets)
+        self.num_tets = m
+        self._tets = tets
+        self._neighbors = nbrs
+
+        # ---- dual vertices: all circumcenters, one batched solve --------
+        self.vertices = tet_circumcenters(pts, tets)
+
+        # ---- group tets by Delaunay edge: the dual ridge rings ----------
+        # 6 edges per tet, keyed lo*n + hi.  When key and tet id fit in
+        # one int64, pack them and sort *values* (roughly twice as fast
+        # as argsort + two gathers); else argsort the keys.
+        ev = tets[:, _TET_EDGES]  # (m, 6, 2)
+        ekey = (
+            np.minimum(ev[..., 0], ev[..., 1]) * n
+            + np.maximum(ev[..., 0], ev[..., 1])
+        ).ravel()
+        shift = int(m).bit_length()
+        if (n * n) >> (63 - shift) == 0:
+            packed = (ekey << shift) | np.repeat(
+                np.arange(m, dtype=np.int64), 6
+            )
+            packed.sort()
+            ekey = packed >> shift
+            tet_of = packed & ((np.int64(1) << shift) - 1)
+        else:
+            tet_of = np.repeat(np.arange(m, dtype=np.int64), 6)
+            order = np.argsort(ekey)
+            ekey = ekey[order]
+            tet_of = tet_of[order]
+        ring_starts = np.flatnonzero(
+            np.concatenate([[True], ekey[1:] != ekey[:-1]])
+        )
+        ring_lengths = np.diff(np.concatenate([ring_starts, [len(ekey)]]))
+        edge_keys = ekey[ring_starts]
+
+        # ---- unboundedness from convex-hull incidence -------------------
+        # neighbors == -1 marks hull facets; their vertices are the
+        # unbounded sites and their edges dualize to unbounded ridges.
+        bt, bk = np.nonzero(nbrs == -1)
+        hull_faces = tets[bt[:, None], _TET_FACES[bk]]  # (B, 3)
+        hull_sites = np.unique(hull_faces)
+        fe = hull_faces[:, _FACE_EDGES]
+        hull_keys = np.unique(
+            np.minimum(fe[..., 0], fe[..., 1]) * n
+            + np.maximum(fe[..., 0], fe[..., 1])
+        )
+        finite = ~np.isin(edge_keys, hull_keys, assume_unique=True)
+
+        f_lengths = ring_lengths[finite]
+        f_keys = edge_keys[finite]
+        R = len(f_keys)
+        ridge_sites = np.empty((R, 2), dtype=np.int64)
+        ridge_sites[:, 0] = f_keys // n
+        ridge_sites[:, 1] = f_keys % n
+        # ring tet ids, rings contiguous: ridge r is fl_flat[off[r]:off[r+1]]
+        fl_flat = np.ascontiguousarray(
+            tet_of[np.repeat(finite, ring_lengths)]
+        )
+        fl_offsets = np.concatenate([[0], np.cumsum(f_lengths)])
+
+        lo, hi = box.as_arrays()
+        eps = _COINCIDENT_RTOL * float(np.linalg.norm(hi - lo))
+        native = _native.lib()
+        if R == 0:
+            self.ridge_sites = np.empty((0, 2), dtype=np.int64)
+            self.ridge_flat = np.empty(0, dtype=np.int64)
+            self.ridge_offsets = np.zeros(1, dtype=np.int64)
+            self.ridge_areas = np.empty(0)
+        elif native is not None:
+            out_flat = np.empty(len(fl_flat), dtype=np.int64)
+            out_len = np.empty(R, dtype=np.int64)
+            areas = np.empty(R)
+            keep = np.empty(R, dtype=np.uint8)
+            total = native.order_rings(
+                self.vertices, pts, np.ascontiguousarray(ridge_sites),
+                fl_flat, fl_offsets, R, eps * eps,
+                out_flat, out_len, areas, keep,
+            )
+            keep = keep.view(bool)
+            self.ridge_flat = out_flat[:total]
+            self.ridge_offsets = np.concatenate(
+                [[0], np.cumsum(out_len[keep])]
+            )
+            self.ridge_sites = ridge_sites[keep]
+            self.ridge_areas = areas[keep]
+            self.degenerate_ridges_dropped = R - len(self.ridge_sites)
+        else:
+            fl_rid = np.repeat(np.arange(R, dtype=np.int64), f_lengths)
+            (
+                self.ridge_flat,
+                self.ridge_offsets,
+                keep_ridge,
+            ) = self._order_and_dedup_rings(
+                pts, ridge_sites, fl_flat, fl_offsets, fl_rid, f_lengths, eps
+            )
+            self.ridge_sites = ridge_sites[keep_ridge]
+            self.degenerate_ridges_dropped = R - len(self.ridge_sites)
+            # segmented Newell area over the ordered rings
+            opts = self.vertices[self.ridge_flat]
+            nxt_idx = np.arange(len(self.ridge_flat)) + 1
+            nxt_idx[self.ridge_offsets[1:] - 1] = self.ridge_offsets[:-1]
+            cr = np.cross(opts, opts[nxt_idx])
+            area_vec = (
+                np.add.reduceat(cr, self.ridge_offsets[:-1], axis=0) * 0.5
+            )
+            self.ridge_areas = np.sqrt(
+                np.einsum("ij,ij->i", area_vec, area_vec)
+            )
+        R = len(self.ridge_sites)
+
+        # ---- bisector-pyramid volumes + surface areas -------------------
+        if R > 0:
+            d = np.linalg.norm(
+                pts[self.ridge_sites[:, 1]] - pts[self.ridge_sites[:, 0]],
+                axis=1,
+            )
+            pyramid = self.ridge_areas * d / 6.0
+            self.volumes = np.bincount(
+                self.ridge_sites[:, 0], weights=pyramid, minlength=n
+            ) + np.bincount(
+                self.ridge_sites[:, 1], weights=pyramid, minlength=n
+            )
+            self.areas = np.bincount(
+                self.ridge_sites[:, 0], weights=self.ridge_areas, minlength=n
+            ) + np.bincount(
+                self.ridge_sites[:, 1], weights=self.ridge_areas, minlength=n
+            )
+        else:
+            self.ridge_areas = np.empty(0)
+            self.volumes = np.zeros(n)
+            self.areas = np.zeros(n)
+
+        # ---- completeness -----------------------------------------------
+        # Bounded iff not on the convex hull; inside iff every incident
+        # circumcenter (== every cell vertex, by duality) is in the box.
+        bounded = np.ones(n, dtype=bool)
+        bounded[hull_sites] = False
+        c_in = np.all((self.vertices >= lo) & (self.vertices <= hi), axis=1)
+        cell_in = np.ones(n, dtype=bool)
+        if not c_in.all():
+            cell_in[tets[~c_in].ravel()] = False
+        # Sites absent from the triangulation: qhull folds exact duplicates
+        # (and near-coplanar merges) into a representative vertex; they
+        # share its cell, mirroring Voronoi's shared point_region (zero
+        # volume, no ridges — the representative carries the metrics).
+        in_tri = np.zeros(n, dtype=bool)
+        in_tri[tets.ravel()] = True
+        missing = ~in_tri
+        if missing.any():
+            bounded_m = np.zeros(n, dtype=bool)
+            if coplanar is not None and len(coplanar):
+                cop = coplanar[coplanar[:, 0] < n]
+                rep = np.minimum(cop[:, 2], n - 1)
+                bounded_m[cop[:, 0]] = bounded[rep]
+            bounded[missing] = bounded_m[missing]
+            cell_in[missing] = True
+        self.complete = bounded & cell_in
+        if self.used_fallback:
+            # Joggled output is qhull-run-specific noise on exactly
+            # degenerate input; never certify cells from it.
+            self.complete[:] = False
+
+        # ---- CSR: site -> valid ridge ids -------------------------------
+        if R > 0:
+            counts = np.bincount(
+                self.ridge_sites[:, 0], minlength=n
+            ) + np.bincount(self.ridge_sites[:, 1], minlength=n)
+            self.cell_ridges_offsets = np.concatenate(
+                [[0], np.cumsum(counts)]
+            ).astype(np.int64)
+            self.cell_ridges_flat = np.empty(2 * R, dtype=np.int64)
+            if native is not None:
+                cursor = self.cell_ridges_offsets[:-1].copy()
+                native.fill_cell_ridges(
+                    np.ascontiguousarray(self.ridge_sites), R,
+                    cursor, self.cell_ridges_flat,
+                )
+            else:
+                sites_both = np.concatenate(
+                    [self.ridge_sites[:, 0], self.ridge_sites[:, 1]]
+                )
+                rid_both = np.concatenate(
+                    [np.arange(R), np.arange(R)]
+                ).astype(np.int64)
+                # Stable sort by site: side-0 entries precede side-1
+                # entries within each cell, each in ridge order
+                # (FlatVoronoi's layout).
+                self.cell_ridges_flat = rid_both[
+                    np.argsort(sites_both, kind="stable")
+                ]
+        else:
+            self.cell_ridges_offsets = np.zeros(n + 1, dtype=np.int64)
+            self.cell_ridges_flat = np.empty(0, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def _triangulate(self, pts: np.ndarray, mesh):
+        """Return int64 ``(tets, neighbors, coplanar)`` from ``mesh`` or a
+        fresh qhull run (with a joggle fallback on degenerate input)."""
+        if mesh is not None:
+            if hasattr(mesh, "tetrahedra"):  # DelaunayMesh
+                return (
+                    np.asarray(mesh.tetrahedra, dtype=np.int64),
+                    np.asarray(mesh.neighbors, dtype=np.int64),
+                    None,
+                )
+            return (
+                np.asarray(mesh.simplices, dtype=np.int64),
+                np.asarray(mesh.neighbors, dtype=np.int64),
+                np.asarray(mesh.coplanar, dtype=np.int64),
+            )
+
+        from scipy.spatial import Delaunay, QhullError
+
+        try:
+            tri = Delaunay(pts)
+        except QhullError:
+            try:
+                tri = Delaunay(pts, qhull_options="Qbb Qc Qz QJ")
+                self.used_fallback = True
+            except QhullError:
+                return None, None, None
+        return (
+            tri.simplices.astype(np.int64),
+            tri.neighbors.astype(np.int64),
+            np.asarray(tri.coplanar, dtype=np.int64),
+        )
+
+    def _order_and_dedup_rings(
+        self, pts, ridge_sites, fl_flat, fl_offsets, fl_rid, f_lengths, eps
+    ):
+        """NumPy fallback: angle-order each tet ring and merge coincident
+        circumcenters (the compiled kernel's semantics, vectorized).
+
+        Returns ``(ridge_flat, ridge_offsets, keep_ridge)`` with rings of
+        fewer than three distinct vertices dropped (``keep_ridge`` masks
+        the surviving rings in the input ridge order).
+        """
+        axis = pts[ridge_sites[:, 1]] - pts[ridge_sites[:, 0]]
+        axis /= np.linalg.norm(axis, axis=1, keepdims=True)
+        helper = np.zeros_like(axis)
+        use_y = np.abs(axis[:, 0]) > 0.9
+        helper[use_y, 1] = 1.0
+        helper[~use_y, 0] = 1.0
+        u = np.cross(axis, helper)
+        u /= np.linalg.norm(u, axis=1, keepdims=True)
+        v = np.cross(axis, u)
+
+        vpts = self.vertices[fl_flat]
+        centers = (
+            np.add.reduceat(vpts, fl_offsets[:-1], axis=0)
+            / f_lengths[:, None]
+        )
+        rel = vpts - centers[fl_rid]
+        ang = np.arctan2(
+            np.einsum("ij,ij->i", rel, v[fl_rid]),
+            np.einsum("ij,ij->i", rel, u[fl_rid]),
+        )
+        # One argsort of a composite float key instead of a two-key lexsort
+        # (~10x cheaper): ring id in the integer part, normalized angle in
+        # the fraction.  Fractional resolution at R ~ 2^17 rings is ~1e-10
+        # rad; ties at that scale are coincident vertices, merged below.
+        comp = fl_rid + (ang + np.pi) / (2.0 * np.pi + 1e-6)
+        order = np.argsort(comp, kind="stable")
+        sflat = fl_flat[order]
+        spts = vpts[order]
+
+        # A vertex coincident with its cyclic predecessor is the same
+        # Voronoi vertex: cospherical sites triangulate into tet fans that
+        # share one circumcenter, and keeping the duplicates would turn
+        # lattice ridges into degenerate polygons.
+        prev = np.arange(len(sflat)) - 1
+        prev[fl_offsets[:-1]] = fl_offsets[1:] - 1
+        dd = spts - spts[prev]
+        keep = np.einsum("ij,ij->i", dd, dd) > eps * eps
+        new_len = np.add.reduceat(keep.astype(np.int64), fl_offsets[:-1])
+        keep_ridge = new_len >= 3
+        keep &= keep_ridge[fl_rid]
+        return (
+            sflat[keep],
+            np.concatenate([[0], np.cumsum(new_len[keep_ridge])]),
+            keep_ridge,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def mesh(self):
+        """The underlying triangulation as a :class:`DelaunayMesh`."""
+        from .delaunay import DelaunayMesh
+
+        if self.num_tets == 0:
+            return DelaunayMesh(
+                points=self.points,
+                tetrahedra=np.empty((0, 4), dtype=np.int64),
+                neighbors=np.empty((0, 4), dtype=np.int64),
+            )
+        return DelaunayMesh(
+            points=self.points, tetrahedra=self._tets, neighbors=self._neighbors
+        )
+
+    @property
+    def tet_circumcenters(self) -> np.ndarray:
+        """Per-tet circumcenters — identical to :attr:`vertices`."""
+        return self.vertices

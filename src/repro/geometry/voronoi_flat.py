@@ -15,21 +15,160 @@ operations — no per-cell Python geometry:
   all-vertices-inside-the-container test, matching the semantics of the
   clip backend.
 
-This is the engine behind tess's production path; the per-cell backends in
-:mod:`repro.geometry.voronoi_cells` / :mod:`repro.geometry.voronoi_qhull`
-remain as the reference implementations the tests cross-validate against.
+:class:`FlatVoronoi` was the engine behind tess's production path until the
+Delaunay-direct engine (:mod:`repro.geometry.voronoi_delaunay`) replaced
+it; it remains the first-line cross-validation oracle, with the per-cell
+backends in :mod:`repro.geometry.voronoi_cells` /
+:mod:`repro.geometry.voronoi_qhull` as the deeper references.
+
+:class:`FlatVoronoiBase` holds the flat-CSR interface contract both
+engines share: attribute layout, cycle/neighbor accessors, and the batched
+cell-diameter kernel used by the early volume cull.
 """
 
 from __future__ import annotations
+
+from itertools import chain
 
 import numpy as np
 
 from ..diy.bounds import Bounds
 
-__all__ = ["FlatVoronoi"]
+__all__ = ["FlatVoronoi", "FlatVoronoiBase"]
 
 
-class FlatVoronoi:
+def _segment_gather(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Indices gathering CSR segments ``[starts[i], starts[i]+lengths[i])``."""
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    out_starts = np.concatenate([[0], np.cumsum(lengths[:-1])])
+    return (
+        np.repeat(starts, lengths)
+        + np.arange(total)
+        - np.repeat(out_starts, lengths)
+    )
+
+
+class FlatVoronoiBase:
+    """Shared flat-CSR Voronoi interface (see :class:`FlatVoronoi`).
+
+    Subclasses populate in ``__init__``: ``points``, ``box``, ``vertices``,
+    ``ridge_sites``, ``ridge_flat``/``ridge_offsets``, ``ridge_areas``,
+    ``volumes``/``areas``, ``complete``, ``cell_ridges_flat``/
+    ``cell_ridges_offsets`` — plus the geometry counters ``num_tets``,
+    ``degenerate_ridges_dropped``, and ``used_fallback``.
+    """
+
+    #: Delaunay tetrahedra behind the diagram (0 for the Qhull-Voronoi path).
+    num_tets: int = 0
+    #: ridges discarded as coincident-circumcenter slivers (Delaunay path).
+    degenerate_ridges_dropped: int = 0
+    #: True when the engine fell back to joggled input or an empty diagram.
+    used_fallback: bool = False
+
+    def _init_degenerate(self, n: int) -> None:
+        self.used_fallback = True
+        self.vertices = np.empty((0, 3))
+        self.ridge_sites = np.empty((0, 2), dtype=np.int64)
+        self.ridge_flat = np.empty(0, dtype=np.int64)
+        self.ridge_offsets = np.zeros(1, dtype=np.int64)
+        self.ridge_areas = np.empty(0)
+        self.volumes = np.zeros(n)
+        self.areas = np.zeros(n)
+        self.complete = np.zeros(n, dtype=bool)
+        self.cell_ridges_offsets = np.zeros(n + 1, dtype=np.int64)
+        self.cell_ridges_flat = np.empty(0, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_sites(self) -> int:
+        return len(self.points)
+
+    @property
+    def num_ridges(self) -> int:
+        """Number of finite ridges."""
+        return len(self.ridge_sites)
+
+    def cell_ridge_ids(self, site: int) -> np.ndarray:
+        """Valid-ridge indices bounding the cell of ``site``."""
+        return self.cell_ridges_flat[
+            self.cell_ridges_offsets[site] : self.cell_ridges_offsets[site + 1]
+        ]
+
+    def ridge_cycle(self, r: int) -> np.ndarray:
+        """Ordered vertex indices (into :attr:`vertices`) of ridge ``r``."""
+        return self.ridge_flat[self.ridge_offsets[r] : self.ridge_offsets[r + 1]]
+
+    def cell_neighbors(self, site: int) -> np.ndarray:
+        """Site indices across each of the cell's ridges."""
+        rs = self.ridge_sites[self.cell_ridge_ids(site)]
+        return np.where(rs[:, 0] == site, rs[:, 1], rs[:, 0])
+
+    def max_vertex_separation(self, site: int) -> float:
+        """Diameter of the cell's vertex set (early-cull quantity)."""
+        return float(
+            self.max_vertex_separations(np.asarray([site], dtype=np.int64))[0]
+        )
+
+    def max_vertex_separations(
+        self, sites: np.ndarray | None = None, chunk: int = 2048
+    ) -> np.ndarray:
+        """Batched cell diameters: max pairwise vertex distance per cell.
+
+        Computes, for every requested site (default all), the exact maximum
+        pairwise distance between the distinct vertices of its cell — the
+        conservative early-cull quantity of paper §III-C — with array ops
+        only.  Cells with fewer than two vertices get 0.  ``chunk`` bounds
+        the number of cells expanded to vertex pairs at once, capping the
+        O(sum k_i^2) intermediate memory.
+        """
+        sites = (
+            np.arange(self.num_sites, dtype=np.int64)
+            if sites is None
+            else np.asarray(sites, dtype=np.int64)
+        )
+        out = np.zeros(len(sites))
+        cr_off = self.cell_ridges_offsets
+        r_off = self.ridge_offsets
+        for c0 in range(0, len(sites), chunk):
+            sel = sites[c0 : c0 + chunk]
+            counts = (cr_off[sel + 1] - cr_off[sel]).astype(np.int64)
+            rids = self.cell_ridges_flat[_segment_gather(cr_off[sel], counts)]
+            cyc_len = (r_off[rids + 1] - r_off[rids]).astype(np.int64)
+            vids = self.ridge_flat[_segment_gather(r_off[rids], cyc_len)]
+            # vertices per cell (with multiplicity across its ridges)
+            per_cell = np.zeros(len(sel), dtype=np.int64)
+            np.add.at(per_cell, np.repeat(np.arange(len(sel)), counts), cyc_len)
+            cell_of = np.repeat(np.arange(len(sel)), per_cell)
+            # distinct (cell, vertex) pairs: duplicates don't change the max
+            # but quadratically inflate the pair expansion below.
+            nv = max(len(self.vertices), 1)
+            uniq = np.unique(cell_of * nv + vids)
+            ucell = uniq // nv
+            uvid = uniq % nv
+            k = np.bincount(ucell, minlength=len(sel)).astype(np.int64)
+            multi = k >= 2
+            if not multi.any():
+                continue
+            # all k_i^2 vertex pairs within each cell's segment
+            seg_starts = np.concatenate([[0], np.cumsum(k[:-1])])
+            kk = k[multi]
+            starts = seg_starts[multi]
+            left = np.repeat(uvid[_segment_gather(starts, kk)], np.repeat(kk, kk))
+            right = uvid[
+                _segment_gather(np.repeat(starts, kk), np.repeat(kk, kk))
+            ]
+            diff = self.vertices[left] - self.vertices[right]
+            d2 = np.einsum("ij,ij->i", diff, diff)
+            bounds = np.concatenate([[0], np.cumsum(kk * kk)])[:-1]
+            out[c0 + np.flatnonzero(multi)] = np.sqrt(
+                np.maximum.reduceat(d2, bounds)
+            )
+        return out
+
+
+class FlatVoronoi(FlatVoronoiBase):
     """Flat-array Voronoi diagram of a 3D point set within a container box.
 
     Attributes (all computed in ``__init__``)
@@ -74,17 +213,23 @@ class FlatVoronoi:
             # empty (all-incomplete) diagram if even that fails.
             try:
                 vor = Voronoi(pts, qhull_options="Qbb Qc Qz QJ")
+                self.used_fallback = True
             except QhullError:
                 self._init_degenerate(n)
                 return
         self.vertices = vor.vertices
 
         # ---- flatten ridges, keeping only finite ones -------------------
+        # One C-level pass per list-of-lists (map/chain feed fromiter with a
+        # preset count) — the per-element genexpr flattens this replaces
+        # were the hot spot of the whole constructor after the Qhull call.
         lengths = np.fromiter(
-            (len(rv) for rv in vor.ridge_vertices), dtype=np.int64
+            map(len, vor.ridge_vertices),
+            dtype=np.int64,
+            count=len(vor.ridge_vertices),
         )
         flat = np.fromiter(
-            (v for rv in vor.ridge_vertices for v in rv),
+            chain.from_iterable(vor.ridge_vertices),
             dtype=np.int64,
             count=int(lengths.sum()),
         )
@@ -168,10 +313,10 @@ class FlatVoronoi:
         # of a per-site Python loop over vor.regions.
         regions = vor.regions
         region_lengths = np.fromiter(
-            (len(r) for r in regions), dtype=np.int64, count=len(regions)
+            map(len, regions), dtype=np.int64, count=len(regions)
         )
         region_flat = np.fromiter(
-            (v for r in regions for v in r),
+            chain.from_iterable(regions),
             dtype=np.int64,
             count=int(region_lengths.sum()),
         )
@@ -228,54 +373,3 @@ class FlatVoronoi:
             self.cell_ridges_flat[pos + within] = order
             # Advance each site's cursor past this side's entries.
             cursor += np.bincount(sites_side, minlength=n)
-
-    def _init_degenerate(self, n: int) -> None:
-        self.vertices = np.empty((0, 3))
-        self.ridge_sites = np.empty((0, 2), dtype=np.int64)
-        self.ridge_flat = np.empty(0, dtype=np.int64)
-        self.ridge_offsets = np.zeros(1, dtype=np.int64)
-        self.ridge_areas = np.empty(0)
-        self.volumes = np.zeros(n)
-        self.areas = np.zeros(n)
-        self.complete = np.zeros(n, dtype=bool)
-        self.cell_ridges_offsets = np.zeros(n + 1, dtype=np.int64)
-        self.cell_ridges_flat = np.empty(0, dtype=np.int64)
-
-    # ------------------------------------------------------------------
-    @property
-    def num_sites(self) -> int:
-        return len(self.points)
-
-    @property
-    def num_ridges(self) -> int:
-        """Number of finite ridges."""
-        return len(self.ridge_sites)
-
-    def cell_ridge_ids(self, site: int) -> np.ndarray:
-        """Valid-ridge indices bounding the cell of ``site``."""
-        return self.cell_ridges_flat[
-            self.cell_ridges_offsets[site] : self.cell_ridges_offsets[site + 1]
-        ]
-
-    def ridge_cycle(self, r: int) -> np.ndarray:
-        """Ordered vertex indices (into :attr:`vertices`) of ridge ``r``."""
-        return self.ridge_flat[self.ridge_offsets[r] : self.ridge_offsets[r + 1]]
-
-    def cell_neighbors(self, site: int) -> np.ndarray:
-        """Site indices across each of the cell's ridges."""
-        rs = self.ridge_sites[self.cell_ridge_ids(site)]
-        return np.where(rs[:, 0] == site, rs[:, 1], rs[:, 0])
-
-    def max_vertex_separation(self, site: int) -> float:
-        """Diameter of the cell's vertex set (early-cull quantity)."""
-        rids = self.cell_ridge_ids(site)
-        vids = np.unique(
-            np.concatenate([self.ridge_cycle(r) for r in rids])
-            if len(rids)
-            else np.empty(0, dtype=np.int64)
-        )
-        v = self.vertices[vids]
-        if len(v) < 2:
-            return 0.0
-        diff = v[:, None, :] - v[None, :, :]
-        return float(np.sqrt(np.einsum("ijk,ijk->ij", diff, diff).max()))

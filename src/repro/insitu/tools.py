@@ -64,7 +64,7 @@ class TessellationTool(AnalysisTool):
     """
 
     ghost: float = 4.0
-    backend: str = "qhull"
+    backend: str = "delaunay"
     vmin: float | None = None
     vmax: float | None = None
     output_pattern: str | None = None
