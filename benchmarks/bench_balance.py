@@ -1,0 +1,209 @@
+"""Dynamic load balancing — clustered-IC imbalance and critical-path wall.
+
+The regular decomposition assigns equal-volume blocks, so a clustered
+late-time snapshot (most particles in a handful of clumps crowded into one
+octant) loads one block with several times its fair share and the
+strong-scaling wins of the parallel tessellation evaporate: the critical
+path is the most loaded rank.  This bench builds exactly that adversarial
+cloud (:func:`repro.balance.clustered_points`, one cluster straddling the
+periodic seam), measures the static max/mean particle imbalance (>= 2.0 by
+construction), rebalances with the SFC repartitioner, and times the
+4-rank process-backend distributed tessellation both ways.
+
+Metrics fed to the perf gate (:mod:`benchmarks.perf_gate`):
+
+* ``balance.post_imbalance`` — max/mean after rebalancing; absolute limit
+  1.25 (the PR 8 acceptance bar).
+* ``balance.r4_balanced_over_static`` — balanced / static critical-path
+  wall at 4 process ranks; absolute limit 1.0 (rebalancing must win).
+* ``balance.static_imbalance_neg`` — *negated* static imbalance with an
+  absolute limit of -2.0, so the gate also fails if the workload stops
+  being imbalanced enough to prove anything (a max-cap on the negation is
+  a min-bar on the value).
+
+Timing follows the backend-scaling bench: one untimed warmup leases the
+persistent rank pool, then best-of-N; ``crit_wall_s`` is max per-rank
+thread-CPU plus unattributed runtime overhead — the honest metric on a
+shared/CI box.  Results land in ``benchmarks/results/balance.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from conftest import write_report  # noqa: E402
+
+NRANKS = 4
+BOX = 16.0
+GRID = 16
+
+
+def _tess_worker(comm, decomp, pts, pid, ghost):
+    """One rank: distributed tessellation + void finding (the in situ shape)."""
+    from repro.analysis.voids import find_voids_distributed
+    from repro.core.tessellate import tessellate_distributed
+
+    cpu0 = time.thread_time()
+    mine = decomp.locate(pts) == comm.rank
+    block, _, _ = tessellate_distributed(
+        comm, decomp, pts[mine], pid[mine], ghost=ghost
+    )
+    catalog = find_voids_distributed(comm, block)
+    cpu_s = time.thread_time() - cpu0
+    ncells = comm.allreduce(block.num_cells)
+    return ncells, int(mine.sum()), cpu_s, catalog.num_voids
+
+
+def _one_attempt(nranks, decomp, pts, pid, ghost):
+    from repro.diy.comm import run_parallel
+
+    t0 = time.perf_counter()
+    results = run_parallel(nranks, _tess_worker, decomp, pts, pid, ghost,
+                           backend="process")
+    elapsed = time.perf_counter() - t0
+    rank_cpu = [r[2] for r in results]
+    crit = max(rank_cpu) + max(elapsed - sum(rank_cpu), 0.0)
+    return elapsed, crit, max(rank_cpu), results
+
+
+def _timed_pair(nranks, decomps, pts, pid, ghost, repeats):
+    """Warmup + interleaved best-of-N over both layouts.
+
+    Attempts alternate static/balanced so slow drift in background load
+    (this bench runs after several others in the perf gate) penalizes
+    both layouts equally instead of whichever happens to run second.
+    The critical-path wall is computed *per attempt* and the minimum
+    kept: a contention spike inflates both that attempt's wall and its
+    per-rank CPU, so picking rank CPUs from the best-*wall* attempt
+    would still let one noisy run through, while the attempt-wise min
+    filters it.
+    """
+    from repro.diy.comm import run_parallel
+
+    out = []
+    for decomp in decomps:  # warmup: pool fork + imports + first touch
+        run_parallel(nranks, _tess_worker, decomp, pts, pid, ghost,
+                     backend="process")
+        out.append({"wall_s": float("inf"), "crit_wall_s": float("inf"),
+                    "cpu_max_s": float("inf")})
+    for _ in range(repeats):
+        for decomp, acc in zip(decomps, out):
+            wall, crit, cpu, results = _one_attempt(
+                nranks, decomp, pts, pid, ghost
+            )
+            acc["wall_s"] = min(acc["wall_s"], wall)
+            acc["crit_wall_s"] = min(acc["crit_wall_s"], crit)
+            acc["cpu_max_s"] = min(acc["cpu_max_s"], cpu)
+            # deterministic outputs: any attempt will do
+            acc["cells"] = results[0][0]
+            acc["counts"] = [r[1] for r in results]
+            acc["voids"] = results[0][3]
+    return out
+
+
+def run_bench(quick: bool = False) -> tuple[list[str], dict]:
+    """Run the bench; returns ``(report_lines, data)`` for the perf gate."""
+    import numpy as np
+
+    from repro.balance import (
+        clustered_points,
+        compute_cell_counts,
+        load_imbalance,
+        rebalance_decomposition,
+    )
+    from repro.diy.bounds import Bounds
+    from repro.diy.decomposition import Decomposition
+
+    n = 12000 if quick else 24000
+    repeats = 4
+    domain = Bounds.cube(BOX)
+    # Broad clumps (sigma = 0.12 box) over a 25% uniform background: the
+    # hot static block still holds ~60% of the particles (max/mean >= 2.3),
+    # but the ghost shell a block imports where an SFC cut crosses a clump
+    # stays a thin slab instead of swallowing the whole cluster — with the
+    # needle-thin default clumps the certifying ghost radius (set by the
+    # sparse background's cell size) exceeds the clump width and every
+    # boundary rank re-triangulates its neighbors' clusters, which buries
+    # the balance win under duplicated Delaunay work.  Seed 14 places the
+    # off-seam clumps deepest in one block.
+    pts = clustered_points(
+        n, BOX, seed=14, width_fraction=0.12, background_fraction=0.25
+    )
+    pid = np.arange(n, dtype=np.int64)
+    # Smallest radius that certifies every cell for both layouts: parity
+    # below demands the full 100%-complete tessellation on each.
+    ghost = 2.5 * (domain.volume / n) ** (1.0 / 3.0)
+
+    static = Decomposition.regular(domain, NRANKS, periodic=True)
+    static_counts = np.bincount(static.locate(pts), minlength=NRANKS)
+    static_imb = load_imbalance(static_counts)["max_over_mean"]
+
+    hist = compute_cell_counts(pts, domain, GRID)
+    balanced = rebalance_decomposition(domain, hist, NRANKS, periodic=True)
+    post_counts = np.bincount(balanced.locate(pts), minlength=NRANKS)
+    post_imb = load_imbalance(post_counts)["max_over_mean"]
+
+    s, b = _timed_pair(NRANKS, (static, balanced), pts, pid, ghost, repeats)
+    ratio = b["crit_wall_s"] / s["crit_wall_s"]
+
+    lines = [
+        "Dynamic load balancing: clustered IC, static vs SFC-rebalanced",
+        f"workload: {n} particles, 5 clumps + 25% background, box {BOX}, "
+        f"{NRANKS} process ranks, ghost {ghost:.2f}, coarse grid {GRID}^3",
+        "",
+        f"{'decomposition':>13} {'imbalance':>9} {'wall_s':>8} "
+        f"{'crit_s':>8} {'cells':>6}  per-rank counts",
+        f"{'static':>13} {static_imb:>9.3f} {s['wall_s']:>8.3f} "
+        f"{s['crit_wall_s']:>8.3f} {s['cells']:>6}  {s['counts']}",
+        f"{'balanced':>13} {post_imb:>9.3f} {b['wall_s']:>8.3f} "
+        f"{b['crit_wall_s']:>8.3f} {b['cells']:>6}  {b['counts']}",
+        "",
+        f"max/mean imbalance {static_imb:.3f} -> {post_imb:.3f} "
+        f"(gate: post <= 1.25, static >= 2.0)",
+        f"crit-wall balanced/static = {ratio:.3f} "
+        f"({'wins' if ratio < 1.0 else 'LOSES'}; gate: < 1.0)",
+    ]
+    parity = s["cells"] == n and b["cells"] == n and s["voids"] == b["voids"]
+    if not parity:
+        lines.append(
+            f"WARNING: parity broken — cells static {s['cells']} / "
+            f"balanced {b['cells']} (expected {n}), voids "
+            f"{s['voids']} vs {b['voids']}"
+        )
+    data = {
+        "n": n,
+        "static_imbalance": static_imb,
+        "post_imbalance": post_imb,
+        "static_crit_s": s["crit_wall_s"],
+        "balanced_crit_s": b["crit_wall_s"],
+        "balanced_over_static": ratio,
+        "cells_match": parity,
+    }
+    return lines, data
+
+
+def test_balance_bench_quick():
+    """Pytest entry point: quick mode, persisted like the other benches."""
+    lines, data = run_bench(quick=True)
+    write_report("balance", lines)
+    assert data["cells_match"]
+    assert data["static_imbalance"] >= 2.0
+    assert data["post_imbalance"] <= 1.25
+
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--quick", action="store_true",
+                   help="12000-particle cloud — CI smoke mode")
+    args = p.parse_args(argv)
+    lines, _ = run_bench(quick=args.quick)
+    write_report("balance", lines)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

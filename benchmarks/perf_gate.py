@@ -3,7 +3,8 @@
 Collects the machine-readable outputs of the backend-scaling sweep
 (:mod:`benchmarks.bench_backend_scaling`), the void-finder kernel bench
 (:mod:`benchmarks.bench_void_scaling`), the geometry-engine bench
-(:mod:`benchmarks.bench_geometry_kernels`), and the trace-overhead bench
+(:mod:`benchmarks.bench_geometry_kernels`), the load-balance bench
+(:mod:`benchmarks.bench_balance`), and the trace-overhead bench
 (:mod:`benchmarks.bench_trace_overhead`) plus the process peak RSS into a
 flat ``{metric: value}`` dict, writes it to ``BENCH_pr.json``, and — with
 ``--check`` — compares it against the committed baseline
@@ -59,11 +60,21 @@ DEFAULT_LIMITS = {
     # scipy.spatial.Voronoi flat engine (PR 7 acceptance bar):
     # delaunay_s / flat_s <= 0.4
     "geom.delaunay_over_flat": 0.4,
+    # dynamic load balancing (PR 8 acceptance bars): on the clustered IC
+    # the SFC re-split must bring max/mean particle imbalance under 1.25,
+    # starting from a static layout at >= 2.0 (the negated metric turns
+    # the gate's max-cap into a min-bar on the static imbalance), and the
+    # 4-rank balanced critical-path wall must beat the static one
+    "balance.post_imbalance": 1.25,
+    "balance.static_imbalance_neg": -2.0,
+    "balance.r4_balanced_over_static": 1.0,
 }
 #: per-metric relative thresholds seeded into a fresh baseline — these
 #: metrics jitter well beyond 25% between identical runs on a shared box
 BASELINE_THRESHOLDS = {
     "trace.disabled_span_ns": 1.0,
+    "balance.r4_static_crit_s": 0.5,
+    "balance.r4_balanced_crit_s": 0.5,
     "mem.peak_rss_bytes": 0.5,
     "voids.dict_s": 0.5,
     "voids.flat_s": 0.5,
@@ -89,6 +100,7 @@ def _noise_floor(metric: str) -> float:
 def collect(quick: bool = True) -> dict[str, float]:
     """Run the tracked benches; return the flat metrics dict."""
     from bench_backend_scaling import run_sweep
+    from bench_balance import run_bench as run_balance_bench
     from bench_geometry_kernels import run_bench as run_geom_bench
     from bench_trace_overhead import run_bench
     from bench_void_scaling import run_bench as run_void_bench
@@ -121,6 +133,13 @@ def collect(quick: bool = True) -> dict[str, float]:
     metrics["geom.flat_s"] = geom["flat_s"]
     metrics["geom.delaunay_s"] = geom["delaunay_s"]
     metrics["geom.delaunay_over_flat"] = geom["delaunay_over_flat"]
+
+    _, balance = run_balance_bench(quick=quick)
+    metrics["balance.static_imbalance_neg"] = -balance["static_imbalance"]
+    metrics["balance.post_imbalance"] = balance["post_imbalance"]
+    metrics["balance.r4_static_crit_s"] = balance["static_crit_s"]
+    metrics["balance.r4_balanced_crit_s"] = balance["balanced_crit_s"]
+    metrics["balance.r4_balanced_over_static"] = balance["balanced_over_static"]
 
     _, overhead = run_bench(quick=quick)
     metrics["trace.overhead_pct"] = overhead["overhead_pct"]

@@ -54,6 +54,12 @@ def _build_tess_parser() -> argparse.ArgumentParser:
                    help="rank count (default: one rank per block)")
     p.add_argument("--vmin", type=float, default=None, help="minimum cell volume")
     p.add_argument("--vmax", type=float, default=None, help="maximum cell volume")
+    p.add_argument("--balance-threshold", type=float, default=None,
+                   metavar="R", dest="balance_threshold",
+                   help="rebalance the decomposition along a space-filling "
+                        "curve when the max/mean per-block particle count "
+                        "exceeds R (e.g. 1.5); results are identical, only "
+                        "the work distribution changes")
     p.add_argument("--no-periodic", action="store_true",
                    help="treat the domain as bounded (boundary cells deleted)")
     p.add_argument("--voids", action="store_true",
@@ -153,10 +159,18 @@ def tess_main(argv: list[str] | None = None) -> int:
         output_path=args.output,
         nranks=args.ranks,
         exec_backend=args.exec_backend,
+        balance_threshold=args.balance_threshold,
     )
     vols = tess.volumes()
     print(f"points:        {len(points)}")
     print(f"blocks:        {tess.num_blocks}")
+    if tess.balance is not None:
+        b = tess.balance
+        state = "rebalanced" if b["rebalanced"] else "kept static"
+        print(f"balance:       {state}, max/mean "
+              f"{b['max_over_mean_before']:.3g} -> "
+              f"{b['max_over_mean_after']:.3g} "
+              f"(threshold {b['threshold']:.3g})")
     print(f"cells kept:    {tess.num_cells}")
     if tess.num_cells:
         print(f"volume range:  [{vols.min():.6g}, {vols.max():.6g}]")
@@ -201,6 +215,12 @@ def _build_sim_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", action="store_true",
                    help="restart from the newest valid checkpoint in the "
                         "checkpoint directory, skipping completed analysis")
+    p.add_argument("--balance-threshold", type=float, default=None,
+                   metavar="R", dest="balance_threshold",
+                   help="dynamic load balancing: re-split the domain along "
+                        "a space-filling curve whenever the max/mean "
+                        "per-rank particle count exceeds R after migration "
+                        "(overrides the deck's balance_threshold)")
     p.add_argument("--fault-kill", default=None, metavar="RANK:STEP",
                    help="fault injection: kill RANK when it enters STEP "
                         "(process exit under --exec-backend process, raised "
@@ -264,6 +284,7 @@ def sim_main(argv: list[str] | None = None) -> int:
             checkpoint_dir=ckpt_dir,
             checkpoint_every=args.checkpoint_every,
             resume=args.resume,
+            balance_threshold=args.balance_threshold,
         )
     except Exception as exc:  # noqa: BLE001 - report the crash, exit nonzero
         print(f"error: simulation failed: {exc}", file=sys.stderr)
@@ -278,6 +299,8 @@ def sim_main(argv: list[str] | None = None) -> int:
             faults.clear()
     if results.resumed_step >= 0:
         print(f"resumed from checkpoint at step {results.resumed_step}")
+    if results.rebalances:
+        print(f"rebalanced domain {results.rebalances} time(s)")
     for tool, per_step in results.items():
         for step, result in sorted(per_step.items()):
             print(f"[{tool} @ step {step}] {_describe(result)}")

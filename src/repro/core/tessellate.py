@@ -74,6 +74,8 @@ def _tessellate_block_flat(
     vmin: float | None,
     vmax: float | None,
     backend: str = "delaunay",
+    region=None,
+    region_radius: float = 0.0,
 ) -> VoronoiBlock:
     """Vectorized block tessellation (production flat path).
 
@@ -83,6 +85,10 @@ def _tessellate_block_flat(
     Semantically identical to :func:`tessellate_block` + ``from_cells``:
     the block vertex pool comes directly from the engine's global pool,
     already deduplicated.
+
+    ``region`` (with ``region_radius``, the ghost thickness) refines
+    completeness certification for irregular blocks — see
+    :func:`_region_complete_mask`.
     """
     n_owned = len(owned_positions)
     all_points = (
@@ -95,8 +101,45 @@ def _tessellate_block_flat(
     )
     fv = _FLAT_ENGINES[backend](all_points, container)
     return _block_from_flat(
-        fv, n_owned, all_points, local_to_global, gid, extents, vmin, vmax
+        fv, n_owned, all_points, local_to_global, gid, extents, vmin, vmax,
+        region=region, region_radius=region_radius,
     )
+
+
+def _region_complete_mask(fv, n_owned: int, region, radius: float) -> np.ndarray:
+    """Completeness of owned cells against an irregular populated region.
+
+    A cell is certifiably complete only if every vertex of every one of
+    its ridges lies inside the region actually populated with particles.
+    For a regular block that region is the ghost-grown core box — the
+    engine's ``container`` — but a balanced block owns a *union of coarse
+    cells*, and its ghost exchange only fills that union grown by the
+    ghost radius.  The container (the bounding box grown by the ghost) is
+    necessarily larger, so the engine's certificate alone would keep
+    cells whose geometry leaks into unpopulated corners of the box.  This
+    mask re-certifies each owned cell against ``region.within(vertices,
+    radius)`` — exactly the point set the ghost targeting guaranteed.
+    """
+    vin = region.within(fv.vertices, radius)
+    num_ridges = len(fv.ridge_offsets) - 1
+    ridge_in = np.ones(num_ridges, dtype=bool)
+    if num_ridges:
+        lengths = np.diff(fv.ridge_offsets).astype(np.int64)
+        np.logical_and.at(
+            ridge_in,
+            np.repeat(np.arange(num_ridges), lengths),
+            vin[fv.ridge_flat],
+        )
+    counts = np.diff(fv.cell_ridges_offsets[: n_owned + 1]).astype(np.int64)
+    end = int(fv.cell_ridges_offsets[n_owned])
+    cell_in = np.ones(n_owned, dtype=bool)
+    if end:
+        np.logical_and.at(
+            cell_in,
+            np.repeat(np.arange(n_owned), counts),
+            ridge_in[fv.cell_ridges_flat[:end]],
+        )
+    return cell_in
 
 
 def _block_from_flat(
@@ -108,6 +151,8 @@ def _block_from_flat(
     extents: Bounds,
     vmin: float | None,
     vmax: float | None,
+    region=None,
+    region_radius: float = 0.0,
 ) -> VoronoiBlock:
     """Assemble a :class:`VoronoiBlock` from a flat geometry engine.
 
@@ -119,6 +164,8 @@ def _block_from_flat(
         _observe_geometry(fv, n_owned)
 
     keep = fv.complete[:n_owned].copy()
+    if region is not None and keep.any():
+        keep &= _region_complete_mask(fv, n_owned, region, region_radius)
     if vmin is not None and keep.any():
         # Step 3c: conservative early cull on the max vertex separation
         # (isodiametric bound) before the exact threshold — any cell it
@@ -277,6 +324,12 @@ def tessellate_distributed(
     """
     gid = comm.rank if gid is None else gid
     block_def = decomposition.block(gid)
+    region = decomposition.block_region(gid)
+    if region is not None and backend not in _FLAT_ENGINES:
+        raise ValueError(
+            "balanced (irregular) decompositions require a flat geometry "
+            f"engine ({sorted(_FLAT_ENGINES)}), not {backend!r}"
+        )
     timer = PhaseTimer(rank=comm.rank)
     stats0 = comm.stats.snapshot()
 
@@ -299,6 +352,8 @@ def tessellate_distributed(
                 vmin=vmin,
                 vmax=vmax,
                 backend=backend,
+                region=region,
+                region_radius=ghost,
             )
         else:
             cells = tessellate_block(
@@ -356,6 +411,9 @@ class Tessellation:
     blocks: list[VoronoiBlock]
     timings: TessTimings = field(default_factory=TessTimings)
     output_bytes: int = 0
+    #: load-balance record of standalone runs with a ``balance_threshold``
+    #: (before/after max-over-mean imbalance and whether a re-split fired)
+    balance: dict | None = None
 
     @property
     def num_blocks(self) -> int:
@@ -419,6 +477,8 @@ def tessellate(
     output_path: str | None = None,
     nranks: int | None = None,
     exec_backend: str = "thread",
+    balance_threshold: float | None = None,
+    balance_grid: int = 16,
 ) -> Tessellation:
     """Standalone-mode parallel tessellation of a global point set.
 
@@ -434,6 +494,13 @@ def tessellate(
     true hardware parallelism — see :func:`repro.diy.comm.run_parallel`).
     Results are bit-identical between the two.  ``backend`` remains the
     *geometry* backend (delaunay/qhull/clip).
+
+    ``balance_threshold`` enables dynamic load balancing: if the regular
+    decomposition's max/mean per-block particle count exceeds it, the
+    domain is re-split along a space-filling curve into equal-load blocks
+    (:mod:`repro.balance`) before the parallel region launches.  The
+    coarse load grid has ``balance_grid`` cells per axis.  Analysis
+    results are identical either way; only the work distribution changes.
 
     Parameters mirror the distributed primitive; see
     :func:`tessellate_distributed`.
@@ -455,6 +522,40 @@ def tessellate(
         ghost = 4.0 * spacing
 
     decomp = Decomposition.regular(domain, nblocks, periodic=periodic)
+    balance_info = None
+    if balance_threshold is not None and nblocks > 1:
+        from ..balance import (
+            compute_cell_counts,
+            load_imbalance,
+            publish_imbalance,
+            rebalance_decomposition,
+        )
+
+        counts = np.bincount(decomp.locate(pts), minlength=decomp.nblocks)
+        before = load_imbalance(counts)
+        publish_imbalance(before)
+        balance_info = {
+            "threshold": balance_threshold,
+            "max_over_mean_before": before["max_over_mean"],
+            "max_over_mean_after": before["max_over_mean"],
+            "rebalanced": False,
+        }
+        if before["max_over_mean"] > balance_threshold:
+            if backend not in _FLAT_ENGINES:
+                raise ValueError(
+                    "balance_threshold requires a flat geometry engine "
+                    f"({sorted(_FLAT_ENGINES)}), not {backend!r}"
+                )
+            hist = compute_cell_counts(pts, domain, balance_grid)
+            decomp = rebalance_decomposition(
+                domain, hist, nblocks, periodic=periodic
+            )
+            after = load_imbalance(
+                np.bincount(decomp.locate(pts), minlength=nblocks)
+            )
+            publish_imbalance(after, prefix="balance.post")
+            balance_info["max_over_mean_after"] = after["max_over_mean"]
+            balance_info["rebalanced"] = True
     nranks = nblocks if nranks is None else nranks
     # Module-level workers + plain-data arguments: the whole task pickles,
     # so the process backend can lease persistent pool workers instead of
@@ -486,6 +587,7 @@ def tessellate(
         blocks=blocks,
         timings=timings,
         output_bytes=results[0][2],
+        balance=balance_info,
     )
 
 
@@ -553,14 +655,21 @@ def _multi_block_worker(
             own_pos, own_ids = particles_by_gid[gid]
             gpos, gid_ids = ghosts[gid]
             block_def = decomp.block(gid)
+            region = decomp.block_region(gid)
             if backend in _FLAT_ENGINES:
                 block = _tessellate_block_flat(
                     np.atleast_2d(own_pos), own_ids, gpos, gid_ids,
                     container=block_def.ghost_bounds(ghost),
                     gid=gid, extents=block_def.core,
                     vmin=vmin, vmax=vmax, backend=backend,
+                    region=region, region_radius=ghost,
                 )
             else:
+                if region is not None:
+                    raise ValueError(
+                        "balanced (irregular) decompositions require a flat "
+                        f"geometry engine, not {backend!r}"
+                    )
                 cells = tessellate_block(
                     own_pos, own_ids, gpos, gid_ids,
                     container=block_def.ghost_bounds(ghost),

@@ -153,13 +153,38 @@ class Decomposition:
         """Total number of blocks."""
         return int(np.prod(self.grid))
 
+    def _check_gid(self, gid: int) -> None:
+        """Reject gids outside ``[0, nblocks)`` before any indexing.
+
+        Without this, Python's negative indexing and modulo arithmetic
+        silently return a *valid-looking* wrong block for bad gids.
+        """
+        if not 0 <= int(gid) < self.nblocks:
+            grid = f" (grid {self.grid})" if self.grid is not None else ""
+            raise ValueError(
+                f"gid {gid} out of range for decomposition with "
+                f"{self.nblocks} blocks{grid}"
+            )
+
     def block(self, gid: int) -> Block:
         """The block with global id ``gid``."""
+        self._check_gid(gid)
         return self._blocks[gid]
 
     def blocks(self) -> tuple[Block, ...]:
         """All blocks in gid order."""
         return self._blocks
+
+    def block_region(self, gid: int):
+        """The exact owned region of block ``gid``, or ``None``.
+
+        Regular blocks are boxes, fully described by ``block(gid).core``;
+        irregular decompositions (``repro.balance.BalancedDecomposition``)
+        override this to return the union-of-cells region that ghost
+        targeting and completeness certification must use.
+        """
+        self._check_gid(gid)
+        return None
 
     def gid_of_coords(self, coords: tuple[int, ...]) -> int:
         """Row-major gid of grid coordinates."""
@@ -170,6 +195,7 @@ class Decomposition:
 
     def coords_of_gid(self, gid: int) -> tuple[int, ...]:
         """Grid coordinates of a gid (inverse of :meth:`gid_of_coords`)."""
+        self._check_gid(gid)
         coords = []
         for g in reversed(self.grid):
             coords.append(gid % g)
@@ -177,18 +203,52 @@ class Decomposition:
         return tuple(reversed(coords))
 
     # ------------------------------------------------------------------
+    def _grid_indices(self, points: np.ndarray, grid: tuple[int, ...]) -> np.ndarray:
+        """Per-axis cell indices of points on a regular ``grid`` subdivision.
+
+        Out-of-domain coordinates are **wrapped** on periodic axes (same
+        modulo rule as :func:`~repro.diy.bounds.wrap_positions`, including
+        the fold of a float modulo that rounds up to exactly the domain
+        size) and **rejected** on non-periodic axes — a clamped guess
+        would silently misassign particles that drifted across the face.
+        The only clamp kept is the non-periodic upper face itself: a point
+        exactly at ``hi`` belongs to the last block.
+        """
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        if pts.shape[1] != self.domain.dim:
+            raise ValueError(
+                f"points have dim {pts.shape[1]}, domain has {self.domain.dim}"
+            )
+        lo, _ = self.domain.as_arrays()
+        sizes = self.domain.sizes
+        per = np.asarray(self.periodic)
+        shifted = pts - lo
+        bad = ~per & ((shifted < 0.0) | (shifted > sizes))
+        if bad.any():
+            i = int(np.argwhere(bad.any(axis=1))[0, 0])
+            raise ValueError(
+                f"point {pts[i]} lies outside the non-periodic domain "
+                f"{self.domain}"
+            )
+        wrapped = shifted % sizes
+        wrapped = np.where(wrapped >= sizes, 0.0, wrapped)
+        coords = np.where(per, wrapped, shifted)
+        cell = sizes / np.asarray(grid, dtype=float)
+        idx = np.floor(coords / cell).astype(np.int64)
+        # Non-periodic upper face (and float round-up near a cell face)
+        # lands in the last cell.
+        return np.clip(idx, 0, np.asarray(grid) - 1)
+
     def locate(self, points: np.ndarray) -> np.ndarray:
         """Vectorized owner lookup: gid of the block containing each point.
 
-        Points must lie inside the domain (wrap first for periodic domains).
+        Points outside the domain are wrapped on periodic axes; on
+        non-periodic axes they raise ``ValueError`` (see
+        :meth:`_grid_indices`), so float drift during migration can never
+        silently misassign a particle to an edge block.
         """
-        pts = np.atleast_2d(np.asarray(points, dtype=float))
-        lo, _ = self.domain.as_arrays()
-        cell = self.domain.sizes / np.asarray(self.grid, dtype=float)
-        idx = np.floor((pts - lo) / cell).astype(np.int64)
-        # Points exactly on the upper domain face land in the last block.
-        idx = np.clip(idx, 0, np.asarray(self.grid) - 1)
-        gids = np.zeros(len(pts), dtype=np.int64)
+        idx = self._grid_indices(points, self.grid)
+        gids = np.zeros(len(idx), dtype=np.int64)
         for axis, g in enumerate(self.grid):
             gids = gids * g + idx[:, axis]
         return gids
@@ -210,6 +270,7 @@ class Decomposition:
         A Euclidean criterion would leave the corners of that box (up to
         ``radius * sqrt(3)`` from the core) silently uncovered.
         """
+        self._check_gid(gid)
         p = np.asarray(point, dtype=float)
         out = []
         for link in self._blocks[gid].links:
@@ -234,6 +295,7 @@ class Decomposition:
         ``mask`` selects the points within ``radius`` of that neighbor's
         translated box.  This is the bulk path used by the ghost exchange.
         """
+        self._check_gid(gid)
         pts = np.atleast_2d(np.asarray(points, dtype=float))
         out = []
         for link in self._blocks[gid].links:

@@ -148,6 +148,18 @@ class NeighborExchanger:
         keeps the original alltoall as a reference path for validation and
         benchmarking; both orders received batches identically.
         """
+        from .. import observe
+
+        if observe.enabled():
+            # Exchange-traffic counters feed the same dashboard as the
+            # balance gauges: after a rebalance the payload volume per
+            # round shows whether the irregular blocks' tight region
+            # targeting held ghost traffic down.
+            reg = observe.registry()
+            reg.counter("exchange.rounds", rank=self.comm.rank).inc()
+            reg.counter("exchange.payloads", rank=self.comm.rank).inc(
+                sum(len(q) for q in self._outgoing.values())
+            )
         if dense:
             sendbufs = [self._outgoing.get(r, []) for r in range(self.comm.size)]
             self._outgoing.clear()

@@ -56,6 +56,22 @@ class TestTessCLI:
         kept = int(out.split("cells kept:")[1].split()[0])
         assert kept < 300  # boundary cells deleted
 
+    def test_balance_threshold_rebalances_clustered_input(
+        self, tmp_path, capsys
+    ):
+        from repro.balance import clustered_points
+
+        pts = clustered_points(600, 8.0, seed=14)
+        npy = tmp_path / "clustered.npy"
+        np.save(npy, pts)
+        rc = tess_main([str(npy), "--box", "8", "--blocks", "4",
+                        "--ghost", "4", "--balance-threshold", "1.5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "balance:       rebalanced" in out
+        assert "cells kept:    600" in out
+        assert "total volume:  512" in out
+
     def test_voids_flag(self, capsys):
         rc = tess_main(["--random", "400", "--box", "8", "--ghost", "3",
                         "--voids"])
@@ -103,6 +119,18 @@ class TestSimCLI:
         rc = sim_main([deck])
         assert rc == 0
         assert "histogram n=" in capsys.readouterr().out
+
+    def test_balance_threshold_flag(self, tmp_path, capsys):
+        deck = self._deck(
+            tmp_path,
+            [{"tool": "statistics", "every": 2}],
+            sim={"np_side": 8, "nsteps": 2, "seed": 5},
+        )
+        rc = sim_main([deck, "--ranks", "2", "--balance-threshold", "1.001"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rebalanced domain" in out
+        assert "histogram n=512" in out
 
     def test_kill_and_resume_cycle(self, tmp_path, capsys):
         """--fault-kill crashes the run after its checkpoints are on disk;

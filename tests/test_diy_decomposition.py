@@ -120,9 +120,41 @@ class TestLocate:
         # Half-open: x=4 belongs to the upper block.
         assert d.locate(np.array([[4.0, 0.0, 0.0]]))[0] == d.gid_of_coords((1, 0, 0))
 
-    def test_locate_on_domain_upper_face_clamps(self):
-        d = Decomposition(Bounds.cube(8.0), (2, 1, 1))
+    def test_locate_on_domain_upper_face_wraps_when_periodic(self):
+        # x = 8.0 is the periodic image of x = 0.0: it belongs to the
+        # *first* block, exactly like a particle that drifted across the
+        # seam.  (It used to be clamped into the last block, which put
+        # seam-straddling particles one block off.)
+        d = Decomposition(Bounds.cube(8.0), (2, 1, 1), periodic=True)
+        assert d.locate(np.array([[8.0, 0.0, 0.0]]))[0] == d.gid_of_coords((0, 0, 0))
+
+    def test_locate_on_domain_upper_face_clamps_when_nonperiodic(self):
+        # A bounded domain is closed at the top: x = 8.0 is still inside
+        # and lands in the last block.
+        d = Decomposition(Bounds.cube(8.0), (2, 1, 1), periodic=False)
         assert d.locate(np.array([[8.0, 0.0, 0.0]]))[0] == d.gid_of_coords((1, 0, 0))
+
+    def test_locate_wraps_beyond_domain_when_periodic(self):
+        # Regression: hi + eps and lo - eps must wrap, not clamp.
+        box = 8.0
+        d = Decomposition(Bounds.cube(box), (2, 1, 1), periodic=True)
+        eps = 1e-9
+        hi_plus = d.locate(np.array([[box + eps, 1.0, 1.0]]))[0]
+        lo_minus = d.locate(np.array([[-eps, 1.0, 1.0]]))[0]
+        assert hi_plus == d.gid_of_coords((0, 0, 0))
+        assert lo_minus == d.gid_of_coords((1, 0, 0))
+        # Per-axis flags: only the periodic axis wraps.
+        d2 = Decomposition(
+            Bounds.cube(box), (2, 1, 1), periodic=(True, False, False)
+        )
+        assert d2.locate(np.array([[box + eps, 1.0, 1.0]]))[0] == 0
+
+    def test_locate_rejects_outside_nonperiodic_domain(self):
+        d = Decomposition(Bounds.cube(8.0), (2, 1, 1), periodic=False)
+        with pytest.raises(ValueError, match="outside the non-periodic"):
+            d.locate(np.array([[8.5, 1.0, 1.0]]))
+        with pytest.raises(ValueError, match="outside the non-periodic"):
+            d.locate(np.array([[-0.5, 1.0, 1.0]]))
 
     @settings(max_examples=40, deadline=None)
     @given(st.integers(min_value=1, max_value=27))
@@ -133,6 +165,27 @@ class TestLocate:
         gids = d.locate(pts)
         for p, g in zip(pts, gids):
             assert d.block(int(g)).core.contains(p)
+
+
+class TestGidValidation:
+    def test_block_rejects_bad_gid(self):
+        d = Decomposition(Bounds.cube(8.0), (2, 2, 2))
+        with pytest.raises(ValueError, match=r"gid 8 .*\(2, 2, 2\)"):
+            d.block(8)
+        with pytest.raises(ValueError, match="gid -1"):
+            d.block(-1)
+
+    def test_coords_of_gid_rejects_bad_gid(self):
+        d = Decomposition(Bounds.cube(8.0), (2, 2, 2))
+        with pytest.raises(ValueError, match="gid 99"):
+            d.coords_of_gid(99)
+
+    def test_neighbors_near_point_rejects_bad_gid(self):
+        d = Decomposition(Bounds.cube(8.0), (2, 2, 2))
+        with pytest.raises(ValueError, match="gid 12"):
+            d.neighbors_near_point(12, np.zeros(3), radius=1.0)
+        with pytest.raises(ValueError, match="gid 12"):
+            d.neighbors_near_points(12, np.zeros((1, 3)), radius=1.0)
 
 
 class TestNearPointTargeting:
