@@ -4,7 +4,7 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint perf-gate update-baseline bench
+.PHONY: test lint perf-gate update-baseline bench serve-bench
 
 test:
 	$(PY) -m pytest -x -q
@@ -29,4 +29,10 @@ bench:
 	$(PY) benchmarks/bench_backend_scaling.py --quick
 	$(PY) benchmarks/bench_void_scaling.py --quick
 	$(PY) benchmarks/bench_balance.py --quick
+	$(PY) benchmarks/bench_serve.py --quick
 	$(PY) benchmarks/bench_trace_overhead.py --quick
+
+# Serving-path benchmark alone: cold/warm query latency + throughput of
+# an in-process repro-serve instance (see DESIGN.md §13).
+serve-bench:
+	$(PY) benchmarks/bench_serve.py --quick

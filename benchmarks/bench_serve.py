@@ -1,0 +1,197 @@
+"""Serving-path benchmark — query latency and throughput, cold and warm.
+
+Builds a fixture catalog (clustered points so every query op returns real
+features), hosts :class:`repro.serve.TessServer` on an ephemeral port in a
+background thread, and drives the load-generator client against it twice
+with the standard query mix (voids, region voids, components, halos,
+profiles, Minkowski):
+
+* **cold** — first pass after startup: every block load is a cache miss
+  (coalesced across the concurrent requests), so this measures the mmap +
+  CRC + decode read path under concurrency;
+* **warm** — second pass: the cache holds every block and latency is pure
+  queueing + kernel time.
+
+Metrics fed to the perf gate (:mod:`benchmarks.perf_gate`):
+
+* ``serve.warm_p99_ms`` — warm-cache client-side p99; absolute limit.
+* ``serve.cold_p99_ms`` — cold-cache p99; absolute limit (generous:
+  includes the one-time block faults).
+* ``serve.qps_neg`` — *negated* warm sustained throughput with a negative
+  absolute limit, so the gate's max-cap becomes a min-bar on QPS.
+* ``serve.errors`` — failed requests across both passes; absolute limit 0
+  (503 busy responses are retried by the client and do not count).
+
+Latency distributions on shared CI runners are noisy; the p50 metrics are
+relative-gated with wide thresholds while the absolute bars above carry
+the contract.  Results land in ``benchmarks/results/serve.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import sys
+import tempfile
+import threading
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from conftest import write_report  # noqa: E402
+
+BOX = 16.0
+NBLOCKS = 4
+NSTEPS = 2
+CONCURRENCY = 16
+
+
+class _ServerThread:
+    """Host a TessServer's event loop in a daemon thread."""
+
+    def __init__(self, store, config):
+        self._store = store
+        self._config = config
+        self._ready = threading.Event()
+        self._loop = None
+        self._stop = None
+        self._failure = None
+        self.server = None
+        self.port = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        try:
+            asyncio.run(self._main())
+        except Exception as exc:  # surface startup failures to start()
+            self._failure = exc
+            self._ready.set()
+
+    async def _main(self):
+        from repro.serve import TessServer
+
+        self.server = TessServer(self._store, self._config)
+        await self.server.start()
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self.port = self.server.port
+        self._ready.set()
+        await self._stop.wait()
+        await self.server.close()
+
+    def start(self) -> int:
+        self._thread.start()
+        if not self._ready.wait(timeout=60):
+            raise RuntimeError("server thread never became ready")
+        if self._failure is not None:
+            raise self._failure
+        return self.port
+
+    def stop(self) -> None:
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=60)
+
+
+def _build_catalog(root: str, npoints: int, seed: int = 0):
+    import numpy as np
+
+    from repro.core import tessellate
+    from repro.diy.bounds import Bounds
+    from repro.serve import CatalogStore
+    from repro.serve.cli import _clustered_points
+
+    store = CatalogStore(root)
+    rng = np.random.default_rng(seed)
+    domain = Bounds.cube(BOX)
+    for step in range(NSTEPS):
+        points = _clustered_points(rng, npoints, BOX)
+        store.publish(step, tessellate(points, domain, nblocks=NBLOCKS))
+    return store
+
+
+def run_bench(quick: bool = False) -> tuple[list[str], dict]:
+    """Run the bench; returns ``(report_lines, data)`` for the perf gate."""
+    from repro.serve import ServeConfig, default_query_mix, run_load
+
+    npoints = 1500 if quick else 4000
+    mix_len = 6 * NSTEPS
+    cold_requests = 4 * mix_len
+    warm_requests = 8 * mix_len
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as root:
+        store = _build_catalog(root, npoints)
+        steps = store.steps()
+        host = _ServerThread(store, ServeConfig(port=0, workers=4))
+        port = host.start()
+        queries = default_query_mix(BOX, steps)
+        try:
+            cold = asyncio.run(
+                run_load("127.0.0.1", port, queries,
+                         requests=cold_requests, concurrency=CONCURRENCY)
+            )
+            warm = asyncio.run(
+                run_load("127.0.0.1", port, queries,
+                         requests=warm_requests, concurrency=CONCURRENCY)
+            )
+            cache = host.server.cache.stats.as_dict()
+        finally:
+            host.stop()
+
+    errors = len(cold.errors) + len(warm.errors)
+    lines = [
+        "Tessellation service: cold/warm query latency and throughput",
+        f"workload: {npoints} points x {NSTEPS} snapshot(s) x {NBLOCKS} "
+        f"blocks, box {BOX}, concurrency {CONCURRENCY}",
+        "",
+        f"{'pass':>6} {'requests':>8} {'errors':>6} {'retries':>7} "
+        f"{'qps':>7} {'p50_ms':>8} {'p90_ms':>8} {'p99_ms':>8}",
+    ]
+    for name, rep in (("cold", cold), ("warm", warm)):
+        lines.append(
+            f"{name:>6} {rep.requests:>8} {len(rep.errors):>6} "
+            f"{rep.retries:>7} {rep.qps:>7.1f} {rep.percentile(50):>8.1f} "
+            f"{rep.percentile(90):>8.1f} {rep.percentile(99):>8.1f}"
+        )
+    lines += [
+        "",
+        f"cache: {cache['hits']} hits / {cache['misses']} misses "
+        f"({cache['loads']} loads, {cache['coalesced']} coalesced, "
+        f"{cache['evictions']} evictions)",
+    ]
+    data = {
+        "npoints": npoints,
+        "cold_qps": cold.qps,
+        "cold_p50_ms": cold.percentile(50),
+        "cold_p99_ms": cold.percentile(99),
+        "warm_qps": warm.qps,
+        "warm_p50_ms": warm.percentile(50),
+        "warm_p99_ms": warm.percentile(99),
+        "errors": float(errors),
+        "retries": cold.retries + warm.retries,
+        "cache_hits": cache["hits"],
+        "cache_loads": cache["loads"],
+    }
+    return lines, data
+
+
+def test_serve_bench_quick():
+    """Pytest entry point: quick mode, persisted like the other benches."""
+    lines, data = run_bench(quick=True)
+    write_report("serve", lines)
+    assert data["errors"] == 0
+    # warm pass must hit the cache: every block was loaded during cold
+    assert data["cache_hits"] > data["cache_loads"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--quick", action="store_true",
+                   help="1500-point snapshots — CI smoke mode")
+    args = p.parse_args(argv)
+    lines, _ = run_bench(quick=args.quick)
+    write_report("serve", lines)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,7 +4,8 @@ Collects the machine-readable outputs of the backend-scaling sweep
 (:mod:`benchmarks.bench_backend_scaling`), the void-finder kernel bench
 (:mod:`benchmarks.bench_void_scaling`), the geometry-engine bench
 (:mod:`benchmarks.bench_geometry_kernels`), the load-balance bench
-(:mod:`benchmarks.bench_balance`), and the trace-overhead bench
+(:mod:`benchmarks.bench_balance`), the serving-path bench
+(:mod:`benchmarks.bench_serve`), and the trace-overhead bench
 (:mod:`benchmarks.bench_trace_overhead`) plus the process peak RSS into a
 flat ``{metric: value}`` dict, writes it to ``BENCH_pr.json``, and — with
 ``--check`` — compares it against the committed baseline
@@ -68,6 +69,15 @@ DEFAULT_LIMITS = {
     "balance.post_imbalance": 1.25,
     "balance.static_imbalance_neg": -2.0,
     "balance.r4_balanced_over_static": 1.0,
+    # tessellation service (PR 9 acceptance bars): client-side p99 latency
+    # under concurrent load must stay bounded cold (first touch faults every
+    # block through mmap+CRC+decode) and warm (pure queueing + kernel time),
+    # the negated warm throughput turns the max-cap into a min-QPS bar, and
+    # no request may fail (503 shedding is retried, not an error)
+    "serve.cold_p99_ms": 8000.0,
+    "serve.warm_p99_ms": 5000.0,
+    "serve.qps_neg": -5.0,
+    "serve.errors": 0.0,
 }
 #: per-metric relative thresholds seeded into a fresh baseline — these
 #: metrics jitter well beyond 25% between identical runs on a shared box
@@ -80,11 +90,16 @@ BASELINE_THRESHOLDS = {
     "voids.flat_s": 0.5,
     "geom.flat_s": 0.5,
     "geom.delaunay_s": 0.5,
+    # client-side latency quantiles on a loaded shared runner jitter far
+    # beyond the default; the absolute serve.* limits carry the contract
+    "serve.cold_p50_ms": 2.0,
+    "serve.warm_p50_ms": 2.0,
 }
 #: baselines smaller than the floor for their unit are too noisy to gate
 NOISE_FLOORS = (
     ("_ns", 100.0),
     ("_pct", 1.0),
+    ("_ms", 5.0),
     ("_s", 0.02),
     ("bytes", 4096.0),
 )
@@ -102,6 +117,7 @@ def collect(quick: bool = True) -> dict[str, float]:
     from bench_backend_scaling import run_sweep
     from bench_balance import run_bench as run_balance_bench
     from bench_geometry_kernels import run_bench as run_geom_bench
+    from bench_serve import run_bench as run_serve_bench
     from bench_trace_overhead import run_bench
     from bench_void_scaling import run_bench as run_void_bench
 
@@ -140,6 +156,14 @@ def collect(quick: bool = True) -> dict[str, float]:
     metrics["balance.r4_static_crit_s"] = balance["static_crit_s"]
     metrics["balance.r4_balanced_crit_s"] = balance["balanced_crit_s"]
     metrics["balance.r4_balanced_over_static"] = balance["balanced_over_static"]
+
+    _, serve = run_serve_bench(quick=quick)
+    metrics["serve.cold_p50_ms"] = serve["cold_p50_ms"]
+    metrics["serve.cold_p99_ms"] = serve["cold_p99_ms"]
+    metrics["serve.warm_p50_ms"] = serve["warm_p50_ms"]
+    metrics["serve.warm_p99_ms"] = serve["warm_p99_ms"]
+    metrics["serve.qps_neg"] = -serve["warm_qps"]
+    metrics["serve.errors"] = serve["errors"]
 
     _, overhead = run_bench(quick=quick)
     metrics["trace.overhead_pct"] = overhead["overhead_pct"]
@@ -201,6 +225,65 @@ def check(
     return failures, notes
 
 
+def summary_table(
+    metrics: dict[str, float], baseline: dict
+) -> list[tuple[str, str, str, str, str]]:
+    """Per-key ``(metric, old, new, ratio, flag)`` rows for the run summary.
+
+    Covers the union of baseline and current metrics so both vanished and
+    newly added keys are visible.  ``ratio`` is new/old (blank when either
+    side is missing or the baseline is ~0); ``flag`` marks absolute-capped
+    metrics and missing sides.
+    """
+    base_metrics = baseline.get("metrics", {})
+    limits = {**DEFAULT_LIMITS, **baseline.get("limits", {})}
+    rows: list[tuple[str, str, str, str, str]] = []
+    for metric in sorted(set(base_metrics) | set(metrics)):
+        old = base_metrics.get(metric)
+        new = metrics.get(metric)
+        old_s = f"{old:.4g}" if old is not None else "-"
+        new_s = f"{new:.4g}" if new is not None else "-"
+        if old is None:
+            ratio_s, flag = "", "new"
+        elif new is None:
+            ratio_s, flag = "", "gone"
+        elif abs(old) < 1e-12:
+            ratio_s, flag = "", ""
+        else:
+            ratio_s = f"{new / old:.3f}"
+            flag = f"limit {limits[metric]:.4g}" if metric in limits else ""
+        rows.append((metric, old_s, new_s, ratio_s, flag))
+    return rows
+
+
+def print_summary(rows, failures: list[str]) -> None:
+    """Render the old/new/ratio table to the log and, when running under
+    GitHub Actions, as a markdown table in ``$GITHUB_STEP_SUMMARY``."""
+    widths = [
+        max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+        for i, h in enumerate(("metric", "old", "new", "ratio", ""))
+    ]
+    print("\nperf summary (old = baseline, new = this run):")
+    for row in rows:
+        print(
+            f"  {row[0]:<{widths[0]}}  {row[1]:>{widths[1]}}  "
+            f"{row[2]:>{widths[2]}}  {row[3]:>{widths[3]}}  {row[4]}"
+        )
+    step_summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not step_summary:
+        return
+    md = ["## Perf gate", "", "| metric | old | new | ratio | |",
+          "| --- | ---: | ---: | ---: | --- |"]
+    md += [f"| `{m}` | {o} | {n} | {r} | {f} |" for m, o, n, r, f in rows]
+    if failures:
+        md += ["", f"**FAILED** — {len(failures)} regression(s):", ""]
+        md += [f"- {failure}" for failure in failures]
+    else:
+        md += ["", "Gate passed."]
+    with open(step_summary, "a") as f:
+        f.write("\n".join(md) + "\n")
+
+
 def main(argv: list[str] | None = None) -> int:
     p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     p.add_argument("--quick", action="store_true",
@@ -247,6 +330,7 @@ def main(argv: list[str] | None = None) -> int:
         failures, notes = check(metrics, baseline)
         for note in notes:
             print(f"  ok: {note}")
+        print_summary(summary_table(metrics, baseline), failures)
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         if failures:

@@ -44,7 +44,10 @@ def main() -> None:
 
     tess = tessellate(points, domain, nblocks=4, ghost=2.5, output_path=out)
     print(f"\ncomplete cells: {tess.num_cells} / {len(points)}")
-    print(f"wrote {tess.output_bytes} bytes ({tess.output_bytes / len(points):.0f} B/particle) to {out}")
+    print(
+        f"wrote {tess.output_bytes} bytes "
+        f"({tess.output_bytes / len(points):.0f} B/particle) to {out}"
+    )
 
     # Full re-read.
     ondisk = read_tessellation(out)
@@ -54,7 +57,10 @@ def main() -> None:
     # Subset read — the plugin's parallel reader pulls blocks independently.
     blocks, dom = read_blocks(out, gids=[2])
     b = blocks[0]
-    print(f"block 2 alone: {b.num_cells} cells, extents {b.extents.min} .. {b.extents.max}")
+    print(
+        f"block 2 alone: {b.num_cells} cells, "
+        f"extents {b.extents.min} .. {b.extents.max}"
+    )
     print(f"  mean faces/cell {b.faces_per_cell():.2f}, "
           f"mean cell volume {b.volumes.mean():.3f}")
 

@@ -41,6 +41,17 @@ from .statistics import (
 )
 from .threshold import density_threshold_mask, kept_site_ids, volume_threshold_mask
 from .tracking import FeatureEvent, FeatureTrack, FeatureTree, track_components
+from .query import (
+    QUERY_OPS,
+    QueryError,
+    query_components,
+    query_halos,
+    query_minkowski,
+    query_profile,
+    query_voids,
+    region_bounds,
+    run_query,
+)
 from .voids import (
     Void,
     VoidCatalog,
@@ -88,6 +99,15 @@ __all__ = [
     "FeatureTrack",
     "FeatureTree",
     "track_components",
+    "QUERY_OPS",
+    "QueryError",
+    "query_components",
+    "query_halos",
+    "query_minkowski",
+    "query_profile",
+    "query_voids",
+    "region_bounds",
+    "run_query",
     "Void",
     "VoidCatalog",
     "find_voids",

@@ -35,7 +35,8 @@ _CUBE_CORNERS = np.array(
      [1, 0, 0], [1, 0, 1], [1, 1, 0], [1, 1, 1]], dtype=np.int64
 )
 _TETS = np.array(
-    [[0, 1, 3, 7], [0, 1, 5, 7], [0, 2, 3, 7], [0, 2, 6, 7], [0, 4, 5, 7], [0, 4, 6, 7]],
+    [[0, 1, 3, 7], [0, 1, 5, 7], [0, 2, 3, 7],
+     [0, 2, 6, 7], [0, 4, 5, 7], [0, 4, 6, 7]],
     dtype=np.int64,
 )
 
@@ -55,7 +56,9 @@ def _displacement_lattice(
     pid = np.asarray(ids, dtype=np.int64)
     n = np_side**3
     if len(pos) != n:
-        raise ValueError(f"expected {n} particles for a {np_side}^3 lattice, got {len(pos)}")
+        raise ValueError(
+            f"expected {n} particles for a {np_side}^3 lattice, got {len(pos)}"
+        )
     if sorted(pid.tolist()) != list(range(n)):
         raise ValueError("ids must be a permutation of 0..np^3-1 (lattice order)")
     spacing = domain.sizes / np_side

@@ -168,7 +168,9 @@ def watershed_voids(
         nb_lab = labels[_as_flat_neighbors(neighbors)]
         ridge &= np.any(nb_lab != labels[:, None], axis=1)
 
-    coords = np.stack(np.unravel_index(np.asarray(minima, dtype=np.int64), shape), axis=1)
+    coords = np.stack(
+        np.unravel_index(np.asarray(minima, dtype=np.int64), shape), axis=1
+    )
     return WatershedResult(
         labels=labels.reshape(shape),
         minima=coords,

@@ -164,7 +164,9 @@ def zobov_voids(tess: Tessellation) -> ZobovResult:
         )
         for c in cores
     ]
-    zones.sort(key=lambda z: -z.significance if np.isfinite(z.significance) else -np.inf)
+    zones.sort(
+        key=lambda z: -z.significance if np.isfinite(z.significance) else -np.inf
+    )
     # Put the never-spilling (global-minimum) zone first.
     zones.sort(key=lambda z: 0 if not np.isfinite(z.significance) else 1)
     return ZobovResult(zones=zones)

@@ -246,7 +246,8 @@ def sim_main(argv: list[str] | None = None) -> int:
         print("error: deck has no 'tools' section", file=sys.stderr)
         return 2
 
-    known = {f.name for f in SimulationConfig.__dataclass_fields__.values()}  # type: ignore[attr-defined]
+    fields = SimulationConfig.__dataclass_fields__  # type: ignore[attr-defined]
+    known = {f.name for f in fields.values()}
     extra = set(sim_spec) - known
     if extra:
         print(f"error: unknown simulation keys {sorted(extra)}", file=sys.stderr)

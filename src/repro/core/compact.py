@@ -96,7 +96,8 @@ def _read_varints(buf: io.BytesIO) -> np.ndarray:
     np.add.at(
         values,
         value_id,
-        (raw & np.uint8(0x7F)).astype(np.uint64) << (np.uint64(7) * within.astype(np.uint64)),
+        (raw & np.uint8(0x7F)).astype(np.uint64)
+        << (np.uint64(7) * within.astype(np.uint64)),
     )
     return values
 
@@ -153,7 +154,9 @@ def compact_decode(blob: bytes) -> VoronoiBlock:
     extents = Bounds.from_arrays(ext[:3], ext[3:])
 
     (nv,) = struct.unpack("<Q", buf.read(8))
-    vertices = np.frombuffer(buf.read(12 * nv), dtype="<f4").reshape(nv, 3).astype(float)
+    vertices = (
+        np.frombuffer(buf.read(12 * nv), dtype="<f4").reshape(nv, 3).astype(float)
+    )
     (nc1,) = struct.unpack("<Q", buf.read(8))
     sites = np.frombuffer(buf.read(12 * nc1), dtype="<f4").reshape(nc1, 3).astype(float)
     volumes = np.frombuffer(buf.read(4 * nc1), dtype="<f4").astype(float)

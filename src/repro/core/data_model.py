@@ -208,7 +208,9 @@ class VoronoiBlock:
         """Vertex-index cycles of cell ``i`` (into the block vertex pool)."""
         out = []
         for f in range(self.cell_face_offsets[i], self.cell_face_offsets[i + 1]):
-            out.append(self.face_vertices[self.face_offsets[f] : self.face_offsets[f + 1]])
+            out.append(
+                self.face_vertices[self.face_offsets[f] : self.face_offsets[f + 1]]
+            )
         return out
 
     def neighbors_of_cell(self, i: int) -> np.ndarray:
@@ -260,7 +262,11 @@ class VoronoiBlock:
         out = []
         for i in range(self.num_cells):
             faces_global = self.faces_of_cell(i)
-            used = np.unique(np.concatenate(faces_global)) if faces_global else np.empty(0, np.int64)
+            used = (
+                np.unique(np.concatenate(faces_global))
+                if faces_global
+                else np.empty(0, np.int64)
+            )
             remap = {int(v): j for j, v in enumerate(used)}
             faces = [
                 np.asarray([remap[int(v)] for v in f], dtype=np.int64)

@@ -22,6 +22,8 @@ __all__ = [
     "write_tessellation_serial",
     "read_tessellation",
     "read_blocks",
+    "block_from_payload",
+    "scan_block_extents",
 ]
 
 
@@ -32,10 +34,47 @@ def _payload(block: VoronoiBlock, domain: Bounds) -> bytes:
     return pack_arrays(arrays)
 
 
-def _block_from_payload(blob: bytes) -> tuple[VoronoiBlock, Bounds]:
+def block_from_payload(
+    blob: bytes | memoryview,
+) -> tuple[VoronoiBlock, Bounds]:
+    """Decode one tess payload (bytes or an mmap view) into its block.
+
+    Returns ``(block, domain)`` — every payload records the global domain,
+    so a reader serving a single block needs nothing else from the file.
+    """
     arrays = unpack_arrays(blob)
     dom = arrays.pop("domain")
     return VoronoiBlock.from_arrays(arrays), Bounds.from_arrays(dom[0], dom[1])
+
+
+_block_from_payload = block_from_payload
+
+
+def scan_block_extents(
+    reader: BlockFileReader,
+) -> tuple[list[Bounds], Bounds]:
+    """Per-gid block extents plus the domain, without decoding geometry.
+
+    Reads only the tiny ``extents``/``domain`` arrays out of each payload
+    through the reader's mmap view (pages for the multi-megabyte mesh
+    arrays are never touched), which is how the catalog store maps a query
+    region onto the blocks that intersect it.
+    """
+    extents: list[Bounds] = []
+    domain: Bounds | None = None
+    for gid in range(reader.nblocks):
+        arrays = unpack_arrays(
+            reader.read_block_view(gid, verify=False),
+            only={"extents", "domain"},
+        )
+        ext = arrays["extents"]
+        extents.append(Bounds.from_arrays(ext[0], ext[1]))
+        if domain is None:
+            dom = arrays["domain"]
+            domain = Bounds.from_arrays(dom[0], dom[1])
+    if domain is None:
+        raise ValueError(f"{reader.path}: file contains no blocks")
+    return extents, domain
 
 
 def write_tessellation(

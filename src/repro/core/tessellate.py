@@ -259,7 +259,9 @@ def tessellate_block(
     thresholds, with *global* neighbor ids.
     """
     if backend not in _BACKENDS:
-        raise ValueError(f"unknown backend {backend!r}; choose from {sorted(_BACKENDS)}")
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from {sorted(_BACKENDS)}"
+        )
     owned_positions = np.atleast_2d(np.asarray(owned_positions, dtype=float))
     n_owned = len(owned_positions)
     if n_owned == 0:

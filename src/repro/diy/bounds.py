@@ -48,7 +48,8 @@ class Bounds:
     def __post_init__(self) -> None:
         if len(self.min) != len(self.max):
             raise ValueError(
-                f"min and max must have equal length, got {len(self.min)} and {len(self.max)}"
+                f"min and max must have equal length, "
+                f"got {len(self.min)} and {len(self.max)}"
             )
         if any(lo > hi for lo, hi in zip(self.min, self.max)):
             raise ValueError(f"degenerate bounds: min={self.min} max={self.max}")
@@ -67,7 +68,9 @@ class Bounds:
     @classmethod
     def from_arrays(cls, lo: np.ndarray, hi: np.ndarray) -> "Bounds":
         """Build from array-like corners."""
-        return cls(tuple(np.asarray(lo, dtype=float)), tuple(np.asarray(hi, dtype=float)))
+        return cls(
+            tuple(np.asarray(lo, dtype=float)), tuple(np.asarray(hi, dtype=float))
+        )
 
     # ------------------------------------------------------------------
     # basic queries

@@ -45,6 +45,7 @@ Version-1 files (no checksums, 8-byte trailer) remain readable.
 from __future__ import annotations
 
 import io
+import mmap
 import os
 import struct
 import zlib
@@ -106,17 +107,33 @@ def pack_arrays(arrays: dict[str, np.ndarray]) -> bytes:
     return out.getvalue()
 
 
-def unpack_arrays(blob: bytes) -> dict[str, np.ndarray]:
-    """Inverse of :func:`pack_arrays`."""
-    buf = io.BytesIO(blob)
-    (nkeys,) = struct.unpack("<I", buf.read(4))
+def unpack_arrays(
+    blob: bytes | memoryview, only: set[str] | None = None
+) -> dict[str, np.ndarray]:
+    """Inverse of :func:`pack_arrays`.
+
+    Accepts any buffer (``bytes`` or a ``memoryview`` over an mmap'd block
+    file) and decodes by offset arithmetic, so a ``memoryview`` is never
+    copied wholesale.  With ``only`` given, arrays whose names are not in
+    the set are *skipped without touching their bytes* — the catalog
+    store's extents scan reads two tiny arrays out of a multi-megabyte
+    payload this way.
+    """
+    view = memoryview(blob)
+    (nkeys,) = struct.unpack_from("<I", view, 0)
+    off = 4
     out: dict[str, np.ndarray] = {}
     for _ in range(nkeys):
-        (klen,) = struct.unpack("<H", buf.read(2))
-        key = buf.read(klen).decode("utf-8")
-        (blen,) = struct.unpack("<Q", buf.read(8))
-        body = io.BytesIO(buf.read(blen))
-        out[key] = np.load(body, allow_pickle=False)
+        (klen,) = struct.unpack_from("<H", view, off)
+        off += 2
+        key = bytes(view[off : off + klen]).decode("utf-8")
+        off += klen
+        (blen,) = struct.unpack_from("<Q", view, off)
+        off += 8
+        if only is None or key in only:
+            body = io.BytesIO(bytes(view[off : off + blen]))
+            out[key] = np.load(body, allow_pickle=False)
+        off += blen
     return out
 
 
@@ -250,6 +267,7 @@ class BlockFileReader:
     def __init__(self, path: str | os.PathLike):
         self.path = os.fspath(path)
         self._fd = os.open(self.path, os.O_RDONLY)
+        self._mmap: mmap.mmap | None = None
         try:
             self._load_index()
         except Exception:
@@ -311,6 +329,12 @@ class BlockFileReader:
             raise CheckpointError(
                 f"{self.path}: footer CRC mismatch (torn or corrupted write)"
             )
+        self.file_size = int(file_size)
+        # Content-derived identity of this file: the footer CRC covers every
+        # payload's (gid, offset, size, crc32) record, so any change to any
+        # block changes the tag.  V1 files have no stored CRC; the computed
+        # one serves the same purpose.
+        self.footer_crc = int(zlib.crc32(footer))
         self._index: dict[int, _IndexEntry] = {}
         for i in range(self.nblocks):
             rec = entry_struct.unpack_from(footer, i * entry_struct.size)
@@ -331,10 +355,58 @@ class BlockFileReader:
         self.close()
 
     def close(self) -> None:
-        """Release the file descriptor (idempotent)."""
+        """Release the mapping and file descriptor (idempotent).
+
+        Any :meth:`read_block_view` memoryviews must be released (or their
+        contents copied out) before closing.
+        """
+        if self._mmap is not None:
+            self._mmap.close()
+            self._mmap = None
         if self._fd is not None:
             os.close(self._fd)
             self._fd = None  # type: ignore[assignment]
+
+    @property
+    def content_tag(self) -> str:
+        """ETag-style identity of the file contents.
+
+        Derived from the footer CRC (which covers every block's payload
+        CRC), the file size, and the block count — republishing a snapshot
+        with different contents always changes the tag, while re-reading
+        the same file always reproduces it.
+        """
+        return f"{self.nblocks:x}-{self.file_size:x}-{self.footer_crc:08x}"
+
+    def block_sizes(self) -> dict[int, int]:
+        """Payload byte size per gid (from the footer index; no I/O)."""
+        return {gid: e.size for gid, e in self._index.items()}
+
+    def read_block_view(self, gid: int, verify: bool = True) -> memoryview:
+        """Zero-copy ``memoryview`` of block ``gid`` over an mmap'd file.
+
+        The first call maps the whole file (pages fault in on demand, so a
+        footer-directed scan of a few small arrays touches only those
+        pages).  The view is valid until :meth:`close`.  ``verify`` checks
+        the payload CRC — the catalog store does this once per cold read
+        and serves cache hits without re-hashing.
+        """
+        try:
+            entry = self._index[gid]
+        except KeyError:
+            raise KeyError(
+                f"block {gid} not in file (0..{self.nblocks - 1})"
+            ) from None
+        if self._mmap is None:
+            self._mmap = mmap.mmap(
+                self._fd, self.file_size, prot=mmap.PROT_READ
+            )
+        view = memoryview(self._mmap)[entry.offset : entry.offset + entry.size]
+        if verify and entry.crc is not None and zlib.crc32(view) != entry.crc:
+            raise CheckpointError(
+                f"{self.path}: CRC mismatch for block {gid} (payload corrupted)"
+            )
+        return view
 
     def read_block(self, gid: int, verify: bool = True) -> bytes:
         """Raw payload bytes of block ``gid`` (CRC-checked unless ``verify``

@@ -103,7 +103,8 @@ def _untrack(shm: shared_memory.SharedMemory) -> None:
     try:  # pragma: no cover - tracker internals, best effort
         from multiprocessing import resource_tracker
 
-        resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
+        name = shm._name  # type: ignore[attr-defined]
+        resource_tracker.unregister(name, "shared_memory")
     except Exception:
         pass
 

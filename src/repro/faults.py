@@ -101,7 +101,9 @@ class FaultSpec:
         if not 0.0 <= self.drop_rate + self.delay_rate <= 1.0:
             raise ValueError("drop_rate + delay_rate must be within [0, 1]")
         if not 0.0 <= self.tear_fraction < 1.0:
-            raise ValueError(f"tear_fraction must be in [0, 1), got {self.tear_fraction}")
+            raise ValueError(
+                f"tear_fraction must be in [0, 1), got {self.tear_fraction}"
+            )
 
 
 class FaultInjector:

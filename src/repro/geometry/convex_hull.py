@@ -67,7 +67,9 @@ class Hull:
         eps = scale_eps(scale, rel_eps)
         a, b, c = (p[self.simplices[:, k]] for k in range(3))
         n = np.cross(b - a, c - a)
-        return bool(np.all(np.einsum("ij,j->i", n, q) - np.einsum("ij,ij->i", n, a) <= eps * np.sqrt(np.einsum("ij,ij->i", n, n)) + eps))
+        lhs = np.einsum("ij,j->i", n, q) - np.einsum("ij,ij->i", n, a)
+        rhs = eps * np.sqrt(np.einsum("ij,ij->i", n, n)) + eps
+        return bool(np.all(lhs <= rhs))
 
 
 def convex_hull(points: np.ndarray, backend: str = "native") -> Hull:

@@ -301,7 +301,9 @@ class ConvexPolyhedron:
 
         # Build the cap face on the cutting plane.
         if len(cap_vertex_ids) >= 3:
-            cap = self._order_cap(np.array(sorted(cap_vertex_ids)), new_vertices, normal)
+            cap = self._order_cap(
+                np.array(sorted(cap_vertex_ids)), new_vertices, normal
+            )
             new_faces.append(cap)
             new_ids.append(int(generator_id))
 

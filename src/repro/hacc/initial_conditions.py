@@ -72,7 +72,9 @@ def zeldovich_displacements(delta_k: np.ndarray, ng: int, box: float) -> np.ndar
     with np.errstate(divide="ignore", invalid="ignore"):
         inv_k2 = np.where(k2 > 0, 1.0 / k2, 0.0)
     for axis, kcomp in enumerate((kx, ky, kz)):
-        psi[..., axis] = np.fft.irfftn(1j * kcomp * delta_k * inv_k2, s=(ng, ng, ng), axes=(0, 1, 2))
+        psi[..., axis] = np.fft.irfftn(
+            1j * kcomp * delta_k * inv_k2, s=(ng, ng, ng), axes=(0, 1, 2)
+        )
     return psi
 
 

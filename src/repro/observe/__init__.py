@@ -62,6 +62,7 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    QuantileReservoir,
     peak_rss_bytes,
     registry,
 )
@@ -98,6 +99,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "QuantileReservoir",
     "MetricsRegistry",
     "registry",
     "peak_rss_bytes",

@@ -16,19 +16,24 @@ be folded into the parent at region end:
 * **counters** add (totals over ranks and regions),
 * **gauges** take the maximum (high-water semantics — peak RSS, peak
   per-rank array bytes),
-* **histograms** combine count/total/min/max.
+* **histograms** combine count/total/min/max,
+* **reservoirs** concatenate their bounded sample windows (quantile
+  summaries — request latencies — where count/total/min/max cannot
+  answer "what is p99").
 """
 
 from __future__ import annotations
 
 import sys
 import threading
+from collections import deque
 from typing import Any
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "QuantileReservoir",
     "MetricsRegistry",
     "registry",
     "peak_rss_bytes",
@@ -103,6 +108,51 @@ class Histogram:
         }
 
 
+class QuantileReservoir:
+    """Bounded sliding window of samples with percentile queries.
+
+    Keeps the most recent ``capacity`` observations in a deque (appends are
+    GIL-atomic, so concurrent server threads can observe without a lock)
+    plus a lifetime count.  Percentiles reflect the current window — for a
+    latency metric that is "the recent distribution", which is what a
+    serving dashboard and the CI latency gate both want.
+    """
+
+    __slots__ = ("samples", "count")
+    kind = "reservoir"
+    capacity = 8192
+
+    def __init__(self) -> None:
+        self.samples: deque[float] = deque(maxlen=self.capacity)
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.samples.append(value)
+        self.count += 1
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0..100) of the current window; 0 when
+        empty."""
+        if not self.samples:
+            return 0.0
+        data = sorted(self.samples)
+        idx = (q / 100.0) * (len(data) - 1)
+        lo = int(idx)
+        hi = min(lo + 1, len(data) - 1)
+        frac = idx - lo
+        return data[lo] * (1.0 - frac) + data[hi] * frac
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "max": max(self.samples) if self.samples else 0.0,
+            "samples": list(self.samples),
+        }
+
+
 def _key(name: str, labels: dict[str, Any]) -> str:
     if not labels:
         return name
@@ -148,6 +198,11 @@ class MetricsRegistry:
         """The histogram ``name`` with ``labels``, created on first use."""
         return self._get(Histogram, name, labels)
 
+    def reservoir(self, name: str, **labels: Any) -> QuantileReservoir:
+        """The quantile reservoir ``name`` with ``labels``, created on
+        first use."""
+        return self._get(QuantileReservoir, name, labels)
+
     def __len__(self) -> int:
         return len(self._metrics)
 
@@ -163,6 +218,7 @@ class MetricsRegistry:
             "counters": {},
             "gauges": {},
             "histograms": {},
+            "reservoirs": {},
         }
         with self._lock:
             items = list(self._metrics.items())
@@ -171,6 +227,8 @@ class MetricsRegistry:
                 out["counters"][key] = metric.value
             elif isinstance(metric, Gauge):
                 out["gauges"][key] = metric.value
+            elif isinstance(metric, QuantileReservoir):
+                out["reservoirs"][key] = metric.as_dict()
             else:
                 out["histograms"][key] = metric.as_dict()
         return out
@@ -202,6 +260,13 @@ class MetricsRegistry:
                     metric.min = h["min"]
                 if h["max"] > metric.max:
                     metric.max = h["max"]
+        for key, r in snapshot.get("reservoirs", {}).items():
+            metric = self._metrics.get(key)
+            if metric is None:
+                with self._lock:
+                    metric = self._metrics.setdefault(key, QuantileReservoir())
+            metric.samples.extend(r.get("samples", []))
+            metric.count += r["count"]
 
 
 _registry = MetricsRegistry()

@@ -1,0 +1,226 @@
+"""Async load-generator client for the tessellation query server.
+
+Drives ``concurrency`` persistent keep-alive connections, each issuing
+queries drawn round-robin from a query mix, and records per-request
+latency client-side.  503 busy responses are honored as the protocol
+intends — wait ``Retry-After``, retry, count it as a retry rather than an
+error — so the load report separates *shed* load from *failed* load.
+The final report (:func:`LoadReport.as_dict`) carries p50/p90/p99
+latency, sustained QPS, status counts, and the server's own
+``/metrics`` snapshot for cross-checking, and is what the CI service job
+gates on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .protocol import (
+    ProtocolError,
+    read_response,
+    render_request,
+)
+
+__all__ = ["LoadReport", "default_query_mix", "run_load", "wait_ready"]
+
+#: retries per request before it counts as an error
+MAX_RETRIES = 20
+
+
+@dataclass
+class LoadReport:
+    """Client-side results of one load run."""
+
+    latencies_ms: list[float] = field(default_factory=list)
+    statuses: dict[int, int] = field(default_factory=dict)
+    errors: list[str] = field(default_factory=list)
+    retries: int = 0
+    wall_s: float = 0.0
+    concurrency: int = 0
+    server_metrics: dict | None = None
+
+    @property
+    def requests(self) -> int:
+        return len(self.latencies_ms)
+
+    @property
+    def qps(self) -> float:
+        return self.requests / self.wall_s if self.wall_s > 0 else 0.0
+
+    def percentile(self, q: float) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies_ms), q))
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "errors": len(self.errors),
+            "error_messages": self.errors[:20],
+            "retries": self.retries,
+            "concurrency": self.concurrency,
+            "wall_s": self.wall_s,
+            "qps": self.qps,
+            "p50_ms": self.percentile(50),
+            "p90_ms": self.percentile(90),
+            "p99_ms": self.percentile(99),
+            "max_ms": max(self.latencies_ms) if self.latencies_ms else 0.0,
+            "statuses": {str(k): v for k, v in sorted(self.statuses.items())},
+            "server_metrics": self.server_metrics,
+        }
+
+
+def default_query_mix(box: float, steps: list[int]) -> list[dict]:
+    """A representative query mix over ``steps`` in a ``box``-sized domain:
+    whole-domain voids, region-restricted voids/components, halo lookups,
+    density profiles, and Minkowski shapefinders."""
+    half = box / 2.0
+    mix: list[dict] = []
+    for step in steps:
+        mix.extend(
+            [
+                {"op": "voids", "step": step},
+                {
+                    "op": "voids",
+                    "step": step,
+                    "region": [[0, 0, 0], [half, half, half]],
+                },
+                {"op": "components", "step": step, "vmin": 0.0},
+                {
+                    "op": "halos",
+                    "step": step,
+                    "linking_fraction": 0.25,
+                    "min_members": 4,
+                },
+                {
+                    "op": "profile",
+                    "step": step,
+                    "center": [half, half, half],
+                    "rmax": half / 2,
+                    "nbins": 12,
+                },
+                {"op": "minkowski", "step": step, "top": 2},
+            ]
+        )
+    return mix
+
+
+async def _open(host: str, port: int):
+    return await asyncio.open_connection(host, port)
+
+
+async def wait_ready(host: str, port: int, timeout_s: float = 30.0) -> bool:
+    """Poll ``GET /healthz`` until the server answers or time runs out."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            reader, writer = await _open(host, port)
+            writer.write(render_request("GET", "/healthz"))
+            await writer.drain()
+            resp = await read_response(reader)
+            writer.close()
+            if resp.status == 200:
+                return True
+        except (ConnectionError, OSError, ProtocolError):
+            pass
+        await asyncio.sleep(0.1)
+    return False
+
+
+async def _worker(
+    host: str,
+    port: int,
+    queries: list[dict],
+    start_at: int,
+    count: int,
+    report: LoadReport,
+    lock: asyncio.Lock,
+) -> None:
+    reader = writer = None
+    idx = start_at
+    done = 0
+    while done < count:
+        spec = queries[idx % len(queries)]
+        idx += 1
+        body = json.dumps(spec).encode()
+        t0 = time.perf_counter()
+        status = None
+        last_error = None
+        for _ in range(MAX_RETRIES):
+            try:
+                if writer is None:
+                    reader, writer = await _open(host, port)
+                writer.write(render_request("POST", "/query", body))
+                await writer.drain()
+                resp = await read_response(reader)
+            except (ConnectionError, OSError, ProtocolError) as exc:
+                last_error = f"{type(exc).__name__}: {exc}"
+                if writer is not None:
+                    writer.close()
+                    reader = writer = None
+                await asyncio.sleep(0.05)
+                continue
+            status = resp.status
+            if status == 503:
+                retry_after = float(resp.headers.get("retry-after", "0.05"))
+                async with lock:
+                    report.retries += 1
+                await asyncio.sleep(retry_after)
+                continue
+            break
+        ms = (time.perf_counter() - t0) * 1e3
+        done += 1
+        async with lock:
+            if status is None:
+                report.errors.append(last_error or "no response")
+            else:
+                report.statuses[status] = report.statuses.get(status, 0) + 1
+                report.latencies_ms.append(ms)
+                if status != 200:
+                    body_head = resp.body[:200].decode("utf-8", "replace")
+                    report.errors.append(f"status {status}: {body_head}")
+    if writer is not None:
+        writer.close()
+
+
+async def _fetch_metrics(host: str, port: int) -> dict | None:
+    try:
+        reader, writer = await _open(host, port)
+        writer.write(render_request("GET", "/metrics"))
+        await writer.drain()
+        resp = await read_response(reader)
+        writer.close()
+        return resp.json() if resp.status == 200 else None
+    except (ConnectionError, OSError, ProtocolError):
+        return None
+
+
+async def run_load(
+    host: str,
+    port: int,
+    queries: list[dict],
+    requests: int,
+    concurrency: int,
+) -> LoadReport:
+    """Fire ``requests`` queries over ``concurrency`` connections."""
+    report = LoadReport(concurrency=concurrency)
+    lock = asyncio.Lock()
+    per = [requests // concurrency] * concurrency
+    for i in range(requests % concurrency):
+        per[i] += 1
+    t0 = time.perf_counter()
+    await asyncio.gather(
+        *(
+            _worker(host, port, queries, i * 7, per[i], report, lock)
+            for i in range(concurrency)
+            if per[i] > 0
+        )
+    )
+    report.wall_s = time.perf_counter() - t0
+    report.server_metrics = await _fetch_metrics(host, port)
+    return report

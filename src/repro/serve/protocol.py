@@ -1,0 +1,198 @@
+"""Wire protocol: a minimal HTTP/1.1 subset over asyncio streams.
+
+Just enough HTTP for a JSON query service and its load generator —
+request-line + headers + ``Content-Length`` bodies, keep-alive by
+default, no chunked encoding, no dependencies.  Both the server and the
+client speak through these helpers, so the framing logic exists once.
+
+Endpoints (served by :mod:`repro.serve.server`):
+
+``GET /healthz``
+    Liveness probe; 200 with ``{"status": "ok"}``.
+``GET /catalog``
+    Manifest of published snapshots with per-snapshot etags.  Carries a
+    catalog-level ``ETag`` header; honors ``If-None-Match`` with 304.
+``GET /metrics``
+    JSON snapshot of the server's ``serve.*`` observe metrics, including
+    p50/p99 request-latency percentiles.
+``POST /query``
+    One JSON query spec (see :data:`repro.analysis.query.QUERY_OPS`).
+    Responses carry the snapshot's ``ETag``.  An overloaded server
+    answers 503 with a ``Retry-After`` header and
+    ``{"error": "busy", ...}`` — the retryable-backpressure contract.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+
+__all__ = [
+    "HttpRequest",
+    "HttpResponse",
+    "ProtocolError",
+    "read_request",
+    "read_response",
+    "render_request",
+    "render_response",
+    "json_response",
+    "error_response",
+]
+
+MAX_HEADER_BYTES = 16 * 1024
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    304: "Not Modified",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ProtocolError(ValueError):
+    """Malformed HTTP framing; the connection should be closed."""
+
+
+@dataclass
+class HttpRequest:
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> dict:
+        try:
+            obj = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"request body is not valid JSON: {exc}")
+        if not isinstance(obj, dict):
+            raise ProtocolError("request body must be a JSON object")
+        return obj
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive") != "close"
+
+
+@dataclass
+class HttpResponse:
+    status: int
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> dict:
+        return json.loads(self.body.decode("utf-8")) if self.body else {}
+
+
+async def _read_head(
+    reader: asyncio.StreamReader,
+) -> tuple[str, dict[str, str]] | None:
+    """Read request/status line plus headers; ``None`` on clean EOF."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-headers")
+    except asyncio.LimitOverrunError:
+        raise ProtocolError(f"headers exceed {MAX_HEADER_BYTES} bytes")
+    if len(head) > MAX_HEADER_BYTES:
+        raise ProtocolError(f"headers exceed {MAX_HEADER_BYTES} bytes")
+    lines = head.decode("latin-1").split("\r\n")
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ProtocolError(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    return lines[0], headers
+
+
+async def _read_body(
+    reader: asyncio.StreamReader, headers: dict[str, str]
+) -> bytes:
+    length = int(headers.get("content-length", "0") or "0")
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise ProtocolError(f"content-length {length} out of bounds")
+    if length == 0:
+        return b""
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("connection closed mid-body")
+
+
+async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
+    """Parse one request; ``None`` when the peer closed between requests."""
+    head = await _read_head(reader)
+    if head is None:
+        return None
+    line, headers = head
+    parts = line.split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(f"malformed request line {line!r}")
+    body = await _read_body(reader, headers)
+    return HttpRequest(
+        method=parts[0].upper(), path=parts[1], headers=headers, body=body
+    )
+
+
+async def read_response(reader: asyncio.StreamReader) -> HttpResponse:
+    """Parse one response (client side)."""
+    head = await _read_head(reader)
+    if head is None:
+        raise ProtocolError("connection closed before response")
+    line, headers = head
+    parts = line.split(" ", 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+        raise ProtocolError(f"malformed status line {line!r}")
+    body = await _read_body(reader, headers)
+    return HttpResponse(status=int(parts[1]), headers=headers, body=body)
+
+
+def render_request(
+    method: str,
+    path: str,
+    body: bytes = b"",
+    headers: dict[str, str] | None = None,
+) -> bytes:
+    out = [f"{method} {path} HTTP/1.1"]
+    merged = {"content-length": str(len(body)), **(headers or {})}
+    out.extend(f"{k}: {v}" for k, v in merged.items())
+    return ("\r\n".join(out) + "\r\n\r\n").encode("latin-1") + body
+
+
+def render_response(resp: HttpResponse) -> bytes:
+    reason = _REASONS.get(resp.status, "Unknown")
+    out = [f"HTTP/1.1 {resp.status} {reason}"]
+    merged = {
+        "content-length": str(len(resp.body)),
+        "content-type": "application/json",
+        **resp.headers,
+    }
+    out.extend(f"{k}: {v}" for k, v in merged.items())
+    return ("\r\n".join(out) + "\r\n\r\n").encode("latin-1") + resp.body
+
+
+def json_response(
+    status: int, payload: dict, headers: dict[str, str] | None = None
+) -> HttpResponse:
+    return HttpResponse(
+        status=status,
+        headers=dict(headers or {}),
+        body=json.dumps(payload).encode("utf-8"),
+    )
+
+
+def error_response(
+    status: int, message: str, headers: dict[str, str] | None = None, **extra
+) -> HttpResponse:
+    return json_response(status, {"error": message, **extra}, headers)

@@ -89,7 +89,9 @@ class TestMultistreamGrid:
         # shared tet faces/diagonals and overcount).
         shift = np.array([0.37, 0.23, 0.11]) * box / n
         pos = (lattice(n, box) + shift) % box
-        counts = multistream_grid(pos, np.arange(n**3), n, Bounds.cube(box), grid_size=4)
+        counts = multistream_grid(
+            pos, np.arange(n**3), n, Bounds.cube(box), grid_size=4
+        )
         assert counts.shape == (4, 4, 4)
         np.testing.assert_array_equal(counts, 1)
 
@@ -111,7 +113,9 @@ class TestMultistreamGrid:
         q = lattice(n, box)
         rng = np.random.default_rng(3)
         pos = (q + rng.normal(0, 0.1, q.shape)) % box
-        counts = multistream_grid(pos, np.arange(n**3), n, Bounds.cube(box), grid_size=8)
+        counts = multistream_grid(
+            pos, np.arange(n**3), n, Bounds.cube(box), grid_size=8
+        )
         assert counts.mean() == pytest.approx(1.0, abs=0.1)
 
 

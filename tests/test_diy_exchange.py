@@ -121,9 +121,14 @@ class TestPeriodicTransform:
         def f(comm):
             ex = NeighborExchanger(decomp, comm, transform=_translate_payload)
             gid = comm.rank
-            pos = np.array([[7.9, 1.0, 1.0]]) if gid == 1 else np.array([[0.1, 1.0, 1.0]])
+            pos = (
+                np.array([[7.9, 1.0, 1.0]])
+                if gid == 1
+                else np.array([[0.1, 1.0, 1.0]])
+            )
             for link in decomp.block(gid).links:
-                if link.gid == 1 - gid and link.wrap[0] != 0 and link.wrap[1:] == (0, 0):
+                wraps = link.wrap[0] != 0 and link.wrap[1:] == (0, 0)
+                if link.gid == 1 - gid and wraps:
                     ex.enqueue(gid, link, pos.copy())
                 if link.gid == 1 - gid and link.wrap == (0, 0, 0):
                     ex.enqueue(gid, link, pos.copy())
@@ -175,7 +180,9 @@ class TestGhostPattern:
 
             ghost_box = block.ghost_bounds(ghost)
             received = [p for _, payload in inbox[gid] for p in payload]
-            return all(ghost_box.contains_closed(np.array(received))) if received else True
+            if not received:
+                return True
+            return all(ghost_box.contains_closed(np.array(received)))
 
         assert all(run_parallel(4, f))
 

@@ -111,7 +111,9 @@ class TestFlatMetrics:
 
 
 @settings(max_examples=15, deadline=None)
-@given(st.integers(min_value=0, max_value=500), st.integers(min_value=20, max_value=150))
+@given(
+    st.integers(min_value=0, max_value=500), st.integers(min_value=20, max_value=150)
+)
 def test_flat_complete_cells_volumes_positive(seed, n):
     pts = poisson(n, 8.0, seed)
     fv = FlatVoronoi(pts, Bounds.cube(8.0))

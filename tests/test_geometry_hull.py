@@ -116,7 +116,9 @@ class TestBackendAgreement:
 
 
 @settings(max_examples=25, deadline=None)
-@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=8, max_value=120))
+@given(
+    st.integers(min_value=0, max_value=10_000), st.integers(min_value=8, max_value=120)
+)
 def test_hull_property_contains_and_volume(seed, n):
     rng = np.random.default_rng(seed)
     pts = rng.normal(size=(n, 3))

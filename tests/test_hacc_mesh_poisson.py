@@ -49,7 +49,10 @@ class TestCICDeposit:
             cic_deposit(np.zeros((5, 2)), 4)
 
     @settings(max_examples=25, deadline=None)
-    @given(st.integers(min_value=0, max_value=5000), st.integers(min_value=4, max_value=24))
+    @given(
+        st.integers(min_value=0, max_value=5000),
+        st.integers(min_value=4, max_value=24),
+    )
     def test_mass_conserved_property(self, seed, ng):
         rng = np.random.default_rng(seed)
         n = int(rng.integers(1, 200))

@@ -185,6 +185,44 @@ class TestMetricsRegistry:
     def test_peak_rss_is_positive(self):
         assert observe.peak_rss_bytes() > 1024 * 1024  # at least 1 MB
 
+    def test_reservoir_percentiles(self):
+        reg = observe.registry()
+        res = reg.reservoir("lat")
+        for v in range(1, 101):  # 1..100
+            res.observe(float(v))
+        assert res.count == 100
+        assert res.percentile(50) == pytest.approx(50.5)
+        assert res.percentile(99) == pytest.approx(99.01, abs=0.5)
+        assert res.percentile(0) == 1.0
+        assert res.percentile(100) == 100.0
+        snap = reg.as_dict()
+        assert snap["reservoirs"]["lat"]["count"] == 100
+        assert snap["reservoirs"]["lat"]["p50"] == pytest.approx(50.5)
+
+    def test_reservoir_window_bounds_memory(self):
+        class SmallReservoir(observe.QuantileReservoir):
+            capacity = 10
+
+        res = SmallReservoir()
+        for v in range(1000):
+            res.observe(float(v))
+        assert res.count == 1000  # lifetime count survives the window
+        assert len(res.samples) == 10
+        assert res.percentile(0) == 990.0  # window holds the newest only
+
+    def test_reservoir_merge_concatenates_samples(self):
+        reg = observe.registry()
+        reg.reservoir("lat").observe(1.0)
+        other = {
+            "reservoirs": {
+                "lat": {"count": 2, "samples": [3.0, 5.0]},
+            },
+        }
+        reg.merge_dict(other)
+        res = reg.reservoir("lat")
+        assert res.count == 3
+        assert sorted(res.samples) == [1.0, 3.0, 5.0]
+
 
 class TestPhaseTimerReentrancy:
     def test_nested_same_phase_not_double_counted(self):
