@@ -28,6 +28,7 @@ update-baseline:
 bench:
 	$(PY) benchmarks/bench_backend_scaling.py --quick
 	$(PY) benchmarks/bench_void_scaling.py --quick
+	$(PY) benchmarks/bench_tracking.py --quick
 	$(PY) benchmarks/bench_balance.py --quick
 	$(PY) benchmarks/bench_serve.py --quick
 	$(PY) benchmarks/bench_trace_overhead.py --quick

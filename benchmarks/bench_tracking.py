@@ -1,0 +1,170 @@
+"""Feature-tree tracking: flat overlap kernel vs the per-cell dict oracle.
+
+PR 10 rewrote the temporal overlap computation as a flat-array kernel
+(one ``index_in_sorted`` join of the two labelings' site ids plus an
+``np.add.at`` pair count) and kept the per-cell dict implementation as
+the parity oracle.  This bench pushes a synthetic multi-step labeling
+sequence — large component populations with churn (drift, merges,
+births) between steps — through :func:`repro.analysis.tracking.track_components`
+with each kernel and reports the speedup.  The two trees must be
+identical before the timing counts.  The perf gate encodes the bar as
+the absolute limit ``tracking.flat_over_dict <= 0.25``.
+
+It also re-asserts the distributed contract cheaply: a 2-rank
+``track_components_distributed`` run over a round-robin split of the
+same labelings must reproduce the serial tree bit-identically.
+
+Run directly (``python benchmarks/bench_tracking.py [--quick]``) or via
+pytest / the perf gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from conftest import write_report  # noqa: E402
+
+from repro.analysis.components import ComponentLabeling
+from repro.analysis.tracking import (
+    local_labeling,
+    track_components,
+    track_components_distributed,
+)
+from repro.diy.comm import run_parallel
+
+
+def _labeling_sequence(
+    n_ids: int, n_comp: int, n_steps: int, seed: int
+) -> dict[int, ComponentLabeling]:
+    """Synthetic step sequence with realistic churn.
+
+    Every step keeps a large overlapping core (so most transitions are
+    continuations), drops a slab of ids (deaths/shrinkage), adds a fresh
+    slab (births), and re-draws ~10% of memberships (merge/split noise).
+    Labels are canonicalized by smallest member id, matching the
+    production labelings.
+    """
+    rng = np.random.default_rng(seed)
+    comp = rng.integers(0, n_comp, size=n_ids)
+    steps: dict[int, ComponentLabeling] = {}
+    for s in range(n_steps):
+        churn = rng.random(n_ids) < 0.03
+        comp = np.where(churn, rng.integers(0, n_comp, size=n_ids), comp)
+        present = rng.random(n_ids) < 0.8
+        sids = np.flatnonzero(present).astype(np.int64)
+        raw = comp[present]
+        # canonical labels: number components by smallest member id
+        uniq, inverse = np.unique(raw, return_inverse=True)
+        first_sid = np.full(len(uniq), np.iinfo(np.int64).max, dtype=np.int64)
+        np.minimum.at(first_sid, inverse, sids)
+        order = np.argsort(first_sid, kind="stable")
+        rank_of = np.empty(len(uniq), dtype=np.int64)
+        rank_of[order] = np.arange(len(uniq))
+        steps[s] = ComponentLabeling(site_ids=sids, labels=rank_of[inverse])
+    return steps
+
+
+def _distributed_worker(comm, labelings):
+    locals_ = {
+        step: local_labeling(
+            lab, lab.site_ids[lab.site_ids % comm.size == comm.rank]
+        )
+        for step, lab in labelings.items()
+    }
+    return track_components_distributed(comm, locals_)
+
+
+def _time(fn, repeats: int) -> tuple[float, object]:
+    best = np.inf
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def run_bench(quick: bool = True) -> tuple[list[str], dict]:
+    """Time dict vs flat tracking kernels; return (report lines, metrics)."""
+    n_ids = 40_000 if quick else 160_000
+    n_comp = 200 if quick else 500
+    n_steps = 6 if quick else 10
+    repeats = 3 if quick else 2
+    labelings = _labeling_sequence(n_ids, n_comp, n_steps, seed=42)
+
+    # min_overlap suppresses single-cell churn links, the production
+    # setting for noisy labelings; it also keeps the timing dominated by
+    # the overlap join rather than Python event construction.
+    min_overlap = 4
+    dict_s, dict_tree = _time(
+        lambda: track_components(
+            labelings, min_overlap=min_overlap, kernel="dict"
+        ),
+        repeats,
+    )
+    flat_s, flat_tree = _time(
+        lambda: track_components(
+            labelings, min_overlap=min_overlap, kernel="flat"
+        ),
+        repeats,
+    )
+
+    # The speedup only counts if both kernels produce the same tree.
+    assert flat_tree == dict_tree, "flat and dict feature trees diverged"
+
+    # Distributed contract: a 2-rank round-robin split must reproduce the
+    # serial tree bit-identically (small sequence; parity, not timing).
+    small = _labeling_sequence(4_000, 50, 4, seed=7)
+    serial = track_components(small)
+    trees = run_parallel(2, _distributed_worker, small, backend="thread")
+    assert all(t == serial for t in trees), "distributed tree diverged"
+
+    speedup = dict_s / flat_s if flat_s > 0 else np.inf
+    counts = flat_tree.counts()
+    events = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+    lines = [
+        f"tracking kernels: {n_ids} sites, ~{n_comp} components, "
+        f"{n_steps} steps, best of {repeats}",
+        f"  dict/per-cell kernel {dict_s:8.4f} s",
+        f"  flat-array kernel    {flat_s:8.4f} s",
+        f"  speedup              {speedup:8.1f}x "
+        f"({len(flat_tree.tracks)} tracks; {events})",
+        "  distributed 2-rank tree == serial tree: ok",
+    ]
+    data = {
+        "n_ids": n_ids,
+        "n_comp": n_comp,
+        "n_steps": n_steps,
+        "num_tracks": len(flat_tree.tracks),
+        "dict_s": dict_s,
+        "flat_s": flat_s,
+        "speedup": speedup,
+    }
+    return lines, data
+
+
+def test_tracking_quick():
+    """Pytest entry point: quick mode, persisted like the other benches."""
+    lines, data = run_bench(quick=True)
+    write_report("tracking", lines)
+    assert data["speedup"] >= 4.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    p = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    p.add_argument("--quick", action="store_true",
+                   help="40k sites instead of the acceptance-scale 160k")
+    args = p.parse_args(argv)
+    lines, _ = run_bench(quick=args.quick)
+    write_report("tracking", lines)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

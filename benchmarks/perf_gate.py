@@ -78,6 +78,10 @@ DEFAULT_LIMITS = {
     "serve.warm_p99_ms": 5000.0,
     "serve.qps_neg": -5.0,
     "serve.errors": 0.0,
+    # temporal tracking (PR 10 acceptance bar): the flat overlap kernel
+    # must stay >= 4x faster than the per-cell dict oracle on the synthetic
+    # multi-step labeling sequence: flat_s / dict_s <= 0.25
+    "tracking.flat_over_dict": 0.25,
 }
 #: per-metric relative thresholds seeded into a fresh baseline — these
 #: metrics jitter well beyond 25% between identical runs on a shared box
@@ -88,6 +92,8 @@ BASELINE_THRESHOLDS = {
     "mem.peak_rss_bytes": 0.5,
     "voids.dict_s": 0.5,
     "voids.flat_s": 0.5,
+    "tracking.dict_s": 0.5,
+    "tracking.flat_s": 0.5,
     "geom.flat_s": 0.5,
     "geom.delaunay_s": 0.5,
     # client-side latency quantiles on a loaded shared runner jitter far
@@ -119,6 +125,7 @@ def collect(quick: bool = True) -> dict[str, float]:
     from bench_geometry_kernels import run_bench as run_geom_bench
     from bench_serve import run_bench as run_serve_bench
     from bench_trace_overhead import run_bench
+    from bench_tracking import run_bench as run_tracking_bench
     from bench_void_scaling import run_bench as run_void_bench
 
     from repro.observe import peak_rss_bytes
@@ -144,6 +151,13 @@ def collect(quick: bool = True) -> dict[str, float]:
     metrics["voids.dict_s"] = voids["dict_s"]
     metrics["voids.flat_s"] = voids["flat_s"]
     metrics["voids.flat_over_dict"] = voids["flat_s"] / voids["dict_s"]
+
+    _, tracking = run_tracking_bench(quick=quick)
+    metrics["tracking.dict_s"] = tracking["dict_s"]
+    metrics["tracking.flat_s"] = tracking["flat_s"]
+    metrics["tracking.flat_over_dict"] = (
+        tracking["flat_s"] / tracking["dict_s"]
+    )
 
     _, geom = run_geom_bench(quick=quick)
     metrics["geom.flat_s"] = geom["flat_s"]

@@ -40,7 +40,18 @@ from .statistics import (
     volume_range_concentration,
 )
 from .threshold import density_threshold_mask, kept_site_ids, volume_threshold_mask
-from .tracking import FeatureEvent, FeatureTrack, FeatureTree, track_components
+from .tracking import (
+    FeatureEvent,
+    FeatureTrack,
+    FeatureTree,
+    FeatureTreeBuilder,
+    MergerTree,
+    local_labeling,
+    overlap_matrix,
+    overlap_matrix_dict,
+    track_components,
+    track_components_distributed,
+)
 from .query import (
     QUERY_OPS,
     QueryError,
@@ -98,7 +109,13 @@ __all__ = [
     "FeatureEvent",
     "FeatureTrack",
     "FeatureTree",
+    "FeatureTreeBuilder",
+    "MergerTree",
+    "local_labeling",
+    "overlap_matrix",
+    "overlap_matrix_dict",
     "track_components",
+    "track_components_distributed",
     "QUERY_OPS",
     "QueryError",
     "query_components",

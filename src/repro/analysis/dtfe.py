@@ -84,6 +84,8 @@ def dtfe_density(
     numpy.ndarray
         Density per input particle.
     """
+    if pad_fraction <= 0:
+        raise ValueError(f"pad_fraction must be > 0, got {pad_fraction}")
     pts = np.asarray(points, dtype=float)
     if pts.ndim != 2 or pts.shape[1] != 3:
         raise ValueError(f"points must be (n, 3), got {pts.shape}")
@@ -121,13 +123,16 @@ def dtfe_grid(
     domain: Bounds,
     grid_size: int,
     masses: np.ndarray | None = None,
+    pad_fraction: float = 0.25,
 ) -> np.ndarray:
     """DTFE field sampled on a ``grid_size^3`` mesh over ``domain``.
 
     Linear (barycentric) interpolation of the per-particle densities inside
     each Delaunay tetrahedron, fully vectorized: one ``find_simplex`` query
     locates all grid points, and the barycentric weights come from the
-    stored affine transforms.
+    stored affine transforms.  ``pad_fraction`` sets the 27-image periodic
+    padding as a fraction of the shortest box side (dense late-time boxes
+    can shrink it; must stay positive so seam tetrahedra close).
 
     The padded point set is triangulated **once**: the same
     ``scipy.spatial.Delaunay`` provides the point-location walk, and its
@@ -139,13 +144,15 @@ def dtfe_grid(
 
     from ..geometry.delaunay import DelaunayMesh
 
+    if pad_fraction <= 0:
+        raise ValueError(f"pad_fraction must be > 0, got {pad_fraction}")
     pts = np.asarray(points, dtype=float)
     n = len(pts)
     m = np.ones(n) if masses is None else np.asarray(masses, dtype=float)
     if len(m) != n:
         raise ValueError("masses length mismatch")
 
-    pad = 0.25 * float(domain.sizes.min())
+    pad = pad_fraction * float(domain.sizes.min())
     all_pts, origin = _padded_periodic(wrap_positions(pts, domain), domain, pad)
 
     tri = SciDelaunay(all_pts)

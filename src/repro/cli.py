@@ -312,11 +312,26 @@ def sim_main(argv: list[str] | None = None) -> int:
 
 
 def _describe(result) -> str:
+    import numpy as np
+
     from .analysis.halos import HaloCatalog
     from .analysis.statistics import Histogram
+    from .analysis.tracking import MergerTree
     from .analysis.voids import VoidCatalog
     from .core.tessellate import Tessellation
 
+    if isinstance(result, MergerTree):
+        counts = result.counts()
+        events = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+        return (
+            f"merger tree: {result.num_tracks} tracks over "
+            f"{len(result.steps)} steps ({events or 'no events'})"
+        )
+    if isinstance(result, np.ndarray):
+        finite = result[np.isfinite(result)]
+        lo = f"{finite.min():.4g}" if finite.size else "nan"
+        hi = f"{finite.max():.4g}" if finite.size else "nan"
+        return f"grid {'x'.join(str(s) for s in result.shape)} range [{lo}, {hi}]"
     if isinstance(result, Tessellation):
         return f"{result.num_cells} cells, total volume {result.total_volume():.4g}"
     if isinstance(result, HaloCatalog):

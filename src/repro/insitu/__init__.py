@@ -12,9 +12,11 @@ from .tools import (
     TOOL_REGISTRY,
     AnalysisTool,
     CellStatisticsTool,
+    DTFETool,
     HaloFinderTool,
     StatisticsTool,
     TessellationTool,
+    TrackingTool,
     VoidFinderTool,
 )
 
@@ -31,4 +33,6 @@ __all__ = [
     "TessellationTool",
     "VoidFinderTool",
     "CellStatisticsTool",
+    "TrackingTool",
+    "DTFETool",
 ]

@@ -10,10 +10,13 @@ store is rank-independent.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 from typing import Any
 
+import numpy as np
 
+from .. import observe
 from ..analysis.halos import HaloCatalog, fof_halos, fof_halos_distributed
 from ..analysis.statistics import Histogram, histogram
 from ..core.tessellate import Tessellation, tessellate_distributed
@@ -27,6 +30,8 @@ __all__ = [
     "StatisticsTool",
     "VoidFinderTool",
     "CellStatisticsTool",
+    "TrackingTool",
+    "DTFETool",
     "TOOL_REGISTRY",
 ]
 
@@ -293,6 +298,288 @@ class CellStatisticsTool(AnalysisTool):
         }
 
 
+@dataclass
+class TrackingTool(AnalysisTool):
+    """In situ feature tracking: void merger trees across output steps.
+
+    At each fired step the tool thresholds the tessellation (quantile of
+    the valid cell volumes, or an absolute ``vmin``), labels connected
+    components, and links them to the previous step's labeling through a
+    :class:`~repro.analysis.tracking.FeatureTreeBuilder` — the same
+    engine as the offline drivers, so the in situ tree is bit-identical
+    to postprocessing the saved labelings.  The running tree state lives
+    on rank 0 and is snapshotted to ``state_dir`` (atomic npz) after
+    every push, so a checkpoint/resume via the recovery driver restores
+    the prior labeling bit-identically; every rank returns the current
+    :class:`~repro.analysis.tracking.MergerTree` snapshot.
+
+    Incomplete cells (volume 0/NaN) are masked out of the quantile and
+    the threshold, never crashing the threshold path.  With a
+    communicator, only packed ``(site id, label)`` rows travel to rank 0
+    per step — the mesh is never gathered.
+    """
+
+    ghost: float = 4.0
+    vmin: float | None = None
+    vmin_quantile: float = 0.85
+    min_overlap: int = 1
+    kernel: str = "flat"
+    state_dir: str | None = None
+    output: str | None = None
+    _builder: Any = field(default=None, init=False, repr=False, compare=False)
+
+    name = "tracking"
+
+    _STATE_PREFIX = "tracking_state_"
+
+    def _state_path(self, step: int) -> str:
+        return os.path.join(
+            self.state_dir, f"{self._STATE_PREFIX}{step:08d}.npz"
+        )
+
+    def _get_builder(self, sim):
+        """The rank-0 builder, restoring checkpointed state on resume.
+
+        State snapshots are per fired step: the tool can fire *after* the
+        simulation's last checkpoint, so on resume the newest snapshot
+        may be ahead of the restart point — the restore picks the latest
+        snapshot at or before ``resumed_step``, exactly the history the
+        re-fired steps will extend.
+        """
+        from ..analysis.tracking import FeatureTreeBuilder
+
+        if self._builder is not None:
+            return self._builder
+        resumed = int(
+            getattr(getattr(sim, "recovery", None), "resumed_step", -1)
+        )
+        if self.state_dir is not None and resumed >= 0:
+            best = -1
+            if os.path.isdir(self.state_dir):
+                for fname in os.listdir(self.state_dir):
+                    if not (
+                        fname.startswith(self._STATE_PREFIX)
+                        and fname.endswith(".npz")
+                    ):
+                        continue
+                    try:
+                        step = int(fname[len(self._STATE_PREFIX) : -4])
+                    except ValueError:
+                        continue
+                    if step <= resumed:
+                        best = max(best, step)
+            if best >= 0:
+                with np.load(self._state_path(best)) as data:
+                    arrays = {k: np.array(data[k]) for k in data.files}
+                self._builder = FeatureTreeBuilder.from_state(arrays)
+                return self._builder
+        self._builder = FeatureTreeBuilder(
+            min_overlap=self.min_overlap, kernel=self.kernel
+        )
+        return self._builder
+
+    def _save_state(self, step: int) -> None:
+        if self.state_dir is None or self._builder is None:
+            return
+        path = self._state_path(step)
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "wb") as f:
+                np.savez(f, **self._builder.state())
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+
+    @staticmethod
+    def _valid_volumes(vols: np.ndarray) -> np.ndarray:
+        """Mask of cells whose volume is usable for thresholding.
+
+        Incomplete cells legitimately carry volume 0 or NaN; they must
+        not poison the quantile or the threshold comparison.
+        """
+        v = np.asarray(vols, dtype=float)
+        return np.isfinite(v) & (v > 0)
+
+    def _threshold(self, vols: np.ndarray) -> float:
+        valid = vols[self._valid_volumes(vols)]
+        if self.vmin is not None:
+            return float(self.vmin)
+        if len(valid) == 0:
+            return float("inf")  # nothing to keep
+        return float(np.quantile(valid, self.vmin_quantile))
+
+    def run(
+        self,
+        sim,
+        step: int,
+        a: float,
+        comm: Communicator | None,
+        context: dict[str, Any] | None = None,
+    ):
+        from ..analysis.components import (
+            connected_components,
+            connected_components_distributed,
+        )
+        from ..analysis.tracking import MergerTree, gather_step_rows
+        from ..core.data_model import index_in_sorted
+
+        if comm is None or comm.size == 1:
+            tess = (context or {}).get("tessellation")
+            if tess is None:
+                tess = TessellationTool(ghost=self.ghost).run(
+                    sim, step, a, comm
+                )
+            vols = tess.volumes()
+            vmin = self._threshold(vols)
+            labeling = connected_components(tess, vmin=vmin)
+            # Per-label volumes accumulated in ascending-site-id order —
+            # the same order the distributed root uses, so sums match
+            # bit for bit.
+            sids = tess.site_ids().astype(np.int64, copy=False)
+            order = np.argsort(sids, kind="stable")
+            pos, found = index_in_sorted(labeling.site_ids, sids[order])
+            if not found.all():
+                raise RuntimeError("labeled cell missing from tessellation")
+            cell_vols = np.asarray(vols, dtype=float)[order][pos]
+            comp_vol = np.zeros(labeling.num_components)
+            np.add.at(comp_vol, labeling.labels, cell_vols)
+            builder = self._get_builder(sim)
+            builder.push(step, labeling, volumes=comp_vol)
+            self._save_state(step)
+            tree = MergerTree.from_tree(builder.tree())
+        else:
+            from ..analysis.tracking import local_labeling
+
+            block, _, _ = tessellate_distributed(
+                comm,
+                sim.decomposition,
+                sim.positions_mpc(),
+                sim.local.ids,
+                ghost=self.ghost,
+            )
+            # Global quantile: every rank ships its valid volumes once;
+            # np.quantile is order-invariant, so the root's threshold is
+            # bit-identical to the serial one.
+            valid = np.ascontiguousarray(
+                np.asarray(block.volumes, dtype=float)[
+                    self._valid_volumes(block.volumes)
+                ]
+            )
+            gathered = comm.gather(valid, root=0)
+            if comm.rank == 0:
+                allv = np.concatenate(gathered)
+                if self.vmin is not None:
+                    vmin = float(self.vmin)
+                elif len(allv) == 0:
+                    vmin = float("inf")
+                else:
+                    vmin = float(np.quantile(allv, self.vmin_quantile))
+            else:
+                vmin = None
+            vmin = comm.bcast(vmin, root=0)
+            labeling = connected_components_distributed(
+                comm, block, vmin=vmin
+            )
+            # Restrict to this rank's owned rows and attach cell volumes.
+            own = np.asarray(block.site_ids, dtype=np.int64)
+            order = np.argsort(own, kind="stable")
+            local = local_labeling(labeling, own)
+            pos, found = index_in_sorted(local.site_ids, own[order])
+            if not found.all():
+                raise RuntimeError("labeled cell missing from local block")
+            cell_vols = np.asarray(block.volumes, dtype=float)[order][pos]
+            with observe.span(
+                "tracking-gather", rank=comm.rank, cat="analysis", step=step
+            ):
+                glab, comp_vol = gather_step_rows(
+                    comm, local, cell_volumes=cell_vols
+                )
+            if comm.rank == 0:
+                builder = self._get_builder(sim)
+                builder.push(step, glab, volumes=comp_vol)
+                self._save_state(step)
+                tree = MergerTree.from_tree(builder.tree())
+            else:
+                tree = None
+            tree = comm.bcast(tree, root=0)
+        if observe.enabled():
+            observe.registry().counter("tracking.steps").inc()
+        if self.output is not None and (comm is None or comm.rank == 0):
+            out = self.output.format(step=step)
+            os.makedirs(os.path.dirname(out) or ".", exist_ok=True)
+            tree.save(out)
+        return tree
+
+
+@dataclass
+class DTFETool(AnalysisTool):
+    """DTFE density-evolution frames: one ``dtfe_grid`` per output step.
+
+    Emits the paper's §II-A density reconstruction as a regular-grid
+    frame at every fired step (the Kaehler 2016-style evolution-movie
+    workload).  With a communicator the particle positions are gathered
+    at rank 0 (positions only — never the mesh), the field is computed
+    once, and the frame broadcast so the result store is
+    rank-independent.  ``output_pattern`` may contain ``{step}``; frames
+    are written atomically as ``.npy`` by rank 0.
+    """
+
+    grid_size: int = 16
+    pad_fraction: float = 0.25
+    output_pattern: str | None = None
+
+    name = "dtfe"
+
+    def run(
+        self,
+        sim,
+        step: int,
+        a: float,
+        comm: Communicator | None,
+        context: dict[str, Any] | None = None,
+    ) -> np.ndarray:
+        from ..analysis.dtfe import dtfe_grid
+
+        domain = sim.config.domain()
+        pts = np.ascontiguousarray(sim.positions_mpc(), dtype=float)
+        if comm is None or comm.size == 1:
+            grid = dtfe_grid(
+                pts, domain, self.grid_size, pad_fraction=self.pad_fraction
+            )
+        else:
+            gathered = comm.gather(pts, root=0)
+            if comm.rank == 0:
+                grid = dtfe_grid(
+                    np.concatenate(gathered),
+                    domain,
+                    self.grid_size,
+                    pad_fraction=self.pad_fraction,
+                )
+            else:
+                grid = None
+            grid = comm.bcast(grid, root=0)
+        if observe.enabled():
+            observe.registry().counter("dtfe.frames").inc()
+        if self.output_pattern is not None and (comm is None or comm.rank == 0):
+            out = self.output_pattern.format(step=step)
+            os.makedirs(os.path.dirname(out) or ".", exist_ok=True)
+            tmp = f"{out}.tmp.{os.getpid()}"
+            try:
+                with open(tmp, "wb") as f:
+                    np.save(f, grid)
+                    f.flush()
+                    os.fsync(f.fileno())
+                os.replace(tmp, out)
+            finally:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+        return grid
+
+
 #: Name -> tool class, extended by user registrations
 #: (:meth:`CosmologyToolsFramework.register`).
 TOOL_REGISTRY: dict[str, type[AnalysisTool]] = {
@@ -301,4 +588,6 @@ TOOL_REGISTRY: dict[str, type[AnalysisTool]] = {
     StatisticsTool.name: StatisticsTool,
     VoidFinderTool.name: VoidFinderTool,
     CellStatisticsTool.name: CellStatisticsTool,
+    TrackingTool.name: TrackingTool,
+    DTFETool.name: DTFETool,
 }

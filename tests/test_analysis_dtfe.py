@@ -86,6 +86,30 @@ class TestDTFEGrid:
         assert np.all(np.isfinite(field))
         assert np.all(field > 0)
 
+    def test_pad_fraction_default_unchanged(self):
+        """Explicit pad_fraction=0.25 must equal the legacy hardcoded pad."""
+        pts = grid_points(5, 5.0, jitter=0.3, seed=8)
+        default = dtfe_grid(pts, Bounds.cube(5.0), grid_size=6)
+        explicit = dtfe_grid(pts, Bounds.cube(5.0), grid_size=6, pad_fraction=0.25)
+        np.testing.assert_array_equal(default, explicit)
+
+    def test_pad_fraction_threads_through(self):
+        """A larger padding keeps the field finite and close to default —
+        the knob is live, not ignored (dense boxes can shrink it)."""
+        pts = grid_points(6, 6.0, jitter=0.2, seed=6)
+        wide = dtfe_grid(pts, Bounds.cube(6.0), grid_size=6, pad_fraction=0.5)
+        slim = dtfe_grid(pts, Bounds.cube(6.0), grid_size=6, pad_fraction=0.15)
+        assert np.all(np.isfinite(wide)) and np.all(np.isfinite(slim))
+        np.testing.assert_allclose(wide, slim, rtol=0.2)
+
+    def test_pad_fraction_validated(self):
+        pts = grid_points(4, 4.0, jitter=0.2, seed=1)
+        for bad in (0.0, -0.1):
+            with pytest.raises(ValueError, match="pad_fraction"):
+                dtfe_grid(pts, Bounds.cube(4.0), grid_size=4, pad_fraction=bad)
+            with pytest.raises(ValueError, match="pad_fraction"):
+                dtfe_density(pts, domain=Bounds.cube(4.0), pad_fraction=bad)
+
 
 class TestVoronoiDensity:
     def test_matches_cell_volumes(self):

@@ -1,0 +1,560 @@
+"""Parity suite for temporal feature tracking.
+
+The flat overlap kernel, the retained dict oracle, and the distributed
+tracker must produce identical feature trees — bit for bit, including
+per-track volume histories — at 1/2/4 ranks on both execution backends.
+Also covers: the merge-arbitration bugfix (overlap count beats dict
+insertion order), a periodic-seam void that merges across a step
+boundary, checkpointable builder state, the merger-tree on-disk format,
+invalid-cell masking in the in situ tool's threshold path, and
+kill-and-resume producing a bit-identical tree.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import faults, observe
+from repro.analysis.components import (
+    ComponentLabeling,
+    connected_components,
+    connected_components_distributed,
+)
+from repro.analysis.tracking import (
+    FeatureTreeBuilder,
+    MergerTree,
+    local_labeling,
+    overlap_matrix,
+    overlap_matrix_dict,
+    track_components,
+    track_components_distributed,
+)
+from repro.core import tessellate, tessellate_distributed
+from repro.diy.bounds import Bounds
+from repro.diy.comm import ParallelError, run_parallel
+from repro.diy.decomposition import Decomposition
+
+BOX = 10.0
+
+
+@pytest.fixture(autouse=True)
+def _clear_faults():
+    yield
+    faults.clear()
+
+
+def _labeling(groups):
+    """ComponentLabeling from tuples of member site ids (canonical labels:
+    components numbered by their smallest member id, matching the
+    union-find output)."""
+    roots = sorted(groups, key=min)
+    site_ids, labels = [], []
+    for label, group in enumerate(roots):
+        for sid in group:
+            site_ids.append(sid)
+            labels.append(label)
+    order = np.argsort(site_ids)
+    return ComponentLabeling(
+        site_ids=np.asarray(site_ids, dtype=np.int64)[order],
+        labels=np.asarray(labels, dtype=np.int64)[order],
+    )
+
+
+def _random_labeling(rng, n_ids, n_comp):
+    ids = np.sort(rng.choice(5000, size=n_ids, replace=False)).astype(np.int64)
+    raw = rng.integers(0, n_comp, size=n_ids)
+    _, labels = np.unique(raw, return_inverse=True)
+    return ComponentLabeling(site_ids=ids, labels=labels.astype(np.int64))
+
+
+class TestOverlapKernels:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_flat_matches_dict_oracle(self, seed):
+        rng = np.random.default_rng(seed)
+        a = _random_labeling(rng, int(rng.integers(5, 400)), 8)
+        b = _random_labeling(rng, int(rng.integers(5, 400)), 8)
+        la, lb, n = overlap_matrix(a, b)
+        oracle = overlap_matrix_dict(a, b)
+        got = {(int(x), int(y)): int(c) for x, y, c in zip(la, lb, n)}
+        assert got == oracle
+        # flat output is (la, lb)-lexsorted — the event-order contract
+        keys = list(zip(la.tolist(), lb.tolist()))
+        assert keys == sorted(keys)
+
+    def test_disjoint_and_empty(self):
+        a = _labeling([(0, 1), (5, 6)])
+        b = _labeling([(100, 101)])
+        la, lb, n = overlap_matrix(a, b)
+        assert len(la) == len(lb) == len(n) == 0
+        empty = ComponentLabeling(
+            site_ids=np.empty(0, dtype=np.int64),
+            labels=np.empty(0, dtype=np.int64),
+        )
+        la, lb, n = overlap_matrix(a, empty)
+        assert len(la) == 0
+
+    @pytest.mark.parametrize("kernel", ["flat", "dict"])
+    @pytest.mark.parametrize("seed", [10, 11])
+    def test_tree_identical_across_kernels(self, seed, kernel):
+        rng = np.random.default_rng(seed)
+        labelings = {
+            s: _random_labeling(rng, int(rng.integers(10, 300)), 6)
+            for s in range(4)
+        }
+        assert track_components(labelings, kernel=kernel) == track_components(
+            labelings, kernel="flat"
+        )
+
+
+class TestMergeArbitration:
+    def test_overlap_winner_beats_insertion_order(self):
+        """Regression: the merged child must continue the largest-overlap
+        parent's track, not the parent that happens to iterate first.
+
+        Parent 0 (insertion-order first) shares 1 cell with the child;
+        parent 1 shares 3.  The old head-iteration claim handed the child
+        to parent 0.
+        """
+        step0 = _labeling([(0, 1), (10, 11, 12, 13)])
+        step1 = _labeling([(1, 10, 11, 12)])
+        tree = track_components({0: step0, 1: step1})
+
+        assert tree.counts() == {"merge": 1}
+        (event,) = tree.events
+        assert event.labels_from == (0, 1) and event.labels_to == (0,)
+        by_start = {t.labels[0]: t for t in tree.tracks if t.steps[0] == 0}
+        assert by_start[1].steps == [0, 1]  # overlap winner continues
+        assert by_start[0].steps == [0]  # insertion-order winner loses
+
+    def test_merge_tie_breaks_to_smaller_parent_label(self):
+        step0 = _labeling([(0, 1), (10, 11)])
+        step1 = _labeling([(1, 10)])  # both parents share exactly 1 cell
+        tree = track_components({0: step0, 1: step1})
+        by_start = {t.labels[0]: t for t in tree.tracks if t.steps[0] == 0}
+        assert by_start[0].steps == [0, 1]
+        assert by_start[1].steps == [0]
+
+    def test_split_child_tie_breaks_to_smaller_child_label(self):
+        step0 = _labeling([(0, 1, 2, 3)])
+        step1 = _labeling([(0, 1), (2, 3)])  # equal 2-cell overlaps
+        tree = track_components({0: step0, 1: step1})
+        parent = next(t for t in tree.tracks if t.steps[0] == 0)
+        assert parent.steps == [0, 1]
+        assert parent.labels == [0, 0]  # smaller child label claimed
+
+
+class TestBuilderState:
+    @pytest.mark.parametrize("volumes", [False, True])
+    def test_state_roundtrip_mid_sequence(self, volumes):
+        rng = np.random.default_rng(7)
+        labelings = {
+            s: _random_labeling(rng, int(rng.integers(20, 200)), 5)
+            for s in range(5)
+        }
+        vols = {
+            s: rng.uniform(0.5, 2.0, size=lab.num_components)
+            for s, lab in labelings.items()
+        }
+
+        full = FeatureTreeBuilder()
+        resumed = None
+        for s in range(5):
+            v = vols[s] if volumes else None
+            full.push(s, labelings[s], volumes=v)
+            if s == 2:
+                resumed = FeatureTreeBuilder.from_state(full.state())
+            elif s > 2:
+                resumed.push(s, labelings[s], volumes=v)
+        assert resumed.tree() == full.tree()
+        assert resumed.last_step == full.last_step == 4
+
+    def test_rejects_non_monotonic_steps(self):
+        builder = FeatureTreeBuilder()
+        builder.push(3, _labeling([(0, 1)]))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            builder.push(3, _labeling([(0, 1)]))
+
+    def test_rejects_inconsistent_volumes(self):
+        builder = FeatureTreeBuilder()
+        builder.push(0, _labeling([(0, 1)]), volumes=np.array([1.0]))
+        with pytest.raises(ValueError, match="every push"):
+            builder.push(1, _labeling([(0, 1)]))
+
+
+class TestMergerTreeFormat:
+    def test_save_load_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(21)
+        labelings = {
+            s: _random_labeling(rng, int(rng.integers(20, 200)), 5)
+            for s in range(4)
+        }
+        vols = {
+            s: rng.uniform(0.5, 2.0, size=lab.num_components)
+            for s, lab in labelings.items()
+        }
+        tree = track_components(labelings, volumes=vols)
+        mt = MergerTree.from_tree(tree)
+        assert mt.to_tree() == tree
+
+        path = str(tmp_path / "tree.npz")
+        mt.save(path)
+        loaded = MergerTree.load(path)
+        assert set(loaded.arrays) == set(mt.arrays)
+        for key in mt.arrays:
+            np.testing.assert_array_equal(loaded.arrays[key], mt.arrays[key])
+        assert loaded.to_tree() == tree
+        assert loaded.counts() == tree.counts()
+
+    def test_load_rejects_unknown_format(self, tmp_path):
+        path = str(tmp_path / "bad.npz")
+        np.savez(path, meta=np.array('{"format": "not-a-tree"}'))
+        with pytest.raises(ValueError, match="format"):
+            MergerTree.load(path)
+
+
+# ----------------------------------------------------------------------
+# distributed == serial, bit-identically
+# ----------------------------------------------------------------------
+def _synthetic_tracking_worker(comm, step_arrays, min_overlap):
+    """One rank: restrict each step's global labeling to the site ids this
+    rank owns (round-robin by id) and run the distributed tracker."""
+    labelings, cell_volumes = {}, {}
+    for step, (sids, labels, vols) in step_arrays.items():
+        mine = sids % comm.size == comm.rank
+        labelings[step] = ComponentLabeling(
+            site_ids=sids[mine], labels=labels[mine]
+        )
+        cell_volumes[step] = vols[mine]
+    return track_components_distributed(
+        comm, labelings, min_overlap=min_overlap, cell_volumes=cell_volumes
+    )
+
+
+@pytest.mark.parametrize("exec_backend", ["thread", "process"])
+@pytest.mark.parametrize("nranks", [1, 2, 4])
+def test_distributed_matches_serial_bit_identically(nranks, exec_backend):
+    """Per-rank linked trees == the serial oracle, volumes included."""
+    rng = np.random.default_rng(3)
+    labelings = {
+        s: _random_labeling(rng, int(rng.integers(50, 300)), 7)
+        for s in range(4)
+    }
+    step_arrays = {}
+    serial_vols = {}
+    for s, lab in labelings.items():
+        cell_vols = rng.uniform(0.5, 2.0, size=len(lab.site_ids))
+        step_arrays[s] = (lab.site_ids, lab.labels, cell_vols)
+        # Serial per-label sums in ascending-site-id order — the same
+        # order the distributed root accumulates in.
+        comp = np.zeros(lab.num_components)
+        np.add.at(comp, lab.labels, cell_vols)
+        serial_vols[s] = comp
+
+    ref = track_components(labelings, volumes=serial_vols)
+    trees = run_parallel(
+        nranks,
+        _synthetic_tracking_worker,
+        step_arrays,
+        1,
+        backend=exec_backend,
+    )
+    for tree in trees:  # identical on every rank, bit for bit
+        assert tree == ref
+        for got, want in zip(tree.tracks, ref.tracks):
+            assert got.volumes == want.volumes
+
+
+def _mismatched_steps_worker(comm):
+    steps = {0: _labeling([(0, 1)])}
+    if comm.rank == 1:
+        steps[1] = _labeling([(0, 1)])
+    return track_components_distributed(comm, steps)
+
+
+def test_distributed_rejects_mismatched_step_sets():
+    with pytest.raises(ParallelError, match="same step sequence"):
+        run_parallel(2, _mismatched_steps_worker)
+
+
+def _duplicate_owner_worker(comm):
+    # Both ranks claim site id 0 — the root must refuse to link it.
+    lab = _labeling([(0, 1 + comm.rank)])
+    return track_components_distributed(comm, {0: lab})
+
+
+def test_distributed_rejects_duplicate_ownership():
+    with pytest.raises(ParallelError, match="more than one rank"):
+        run_parallel(2, _duplicate_owner_worker)
+
+
+# ----------------------------------------------------------------------
+# periodic-seam void merging across a step boundary
+# ----------------------------------------------------------------------
+STRIP_IDS = set(range(800, 810))
+MID_IDS = set(range(810, 816))
+
+
+def _seam_steps(seed=11):
+    """Two steps: a void wrapping the periodic x seam merges with a
+    mid-box void when a corridor opens through the dense matter.
+
+    Step 0: dense matter fills [1.5, 4] and [6, 8.5]; a sparse strip
+    spans the seam ([8.5, 10] + [0, 1.5], wrapping through x=0 — one
+    component only if periodic adjacency works) and a second sparse slab
+    sits at [4, 6].  Step 1: the dense particles inside a corridor
+    window are removed, connecting the two voids — the merge must link
+    the seam-wrapping component to the mid one.  Surviving particles
+    keep their ids, which is what the overlap join runs on.
+    """
+    rng = np.random.default_rng(seed)
+    dense = np.vstack(
+        [
+            rng.uniform([1.5, 0, 0], [4.0, BOX, BOX], size=(400, 3)),
+            rng.uniform([6.0, 0, 0], [8.5, BOX, BOX], size=(400, 3)),
+        ]
+    )
+    strip = np.vstack(
+        [
+            rng.uniform([0, 0, 0], [1.5, BOX, BOX], size=(5, 3)),
+            rng.uniform([8.5, 0, 0], [BOX, BOX, BOX], size=(5, 3)),
+        ]
+    )
+    mid = rng.uniform([4.0, 0, 0], [6.0, BOX, BOX], size=(6, 3))
+    pts = np.clip(np.vstack([dense, strip, mid]), 1e-3, BOX - 1e-3)
+    ids = np.arange(len(pts), dtype=np.int64)
+    corridor = (
+        (pts[:, 0] > 1.5)
+        & (pts[:, 0] < 4.0)
+        & (np.all((pts[:, 1:] > 3.5) & (pts[:, 1:] < 6.5), axis=1))
+        & (ids < 800)
+    )
+    keep1 = ~corridor
+    return {0: (pts, ids), 1: (pts[keep1], ids[keep1])}
+
+
+@pytest.fixture(scope="module")
+def seam_merge_case():
+    steps = _seam_steps()
+    domain = Bounds.cube(BOX)
+    vmins, labelings = {}, {}
+    for step, (pts, ids) in steps.items():
+        tess = tessellate(pts, domain, nblocks=1, ghost=4.0, ids=ids)
+        vmins[step] = float(np.quantile(tess.volumes(), 0.95))
+        labelings[step] = connected_components(tess, vmin=vmins[step])
+    return steps, vmins, labelings
+
+
+def _labels_of(labeling, id_set):
+    return {
+        int(l)
+        for s, l in zip(labeling.site_ids, labeling.labels)
+        if int(s) in id_set
+    }
+
+
+def test_seam_void_merges_across_step_boundary(seam_merge_case):
+    _, _, labelings = seam_merge_case
+    strip0 = _labels_of(labelings[0], STRIP_IDS)
+    mid0 = _labels_of(labelings[0], MID_IDS)
+    # Step 0: one seam-wrapping void, separate from the mid void(s).
+    assert len(strip0) == 1 and mid0 and not (strip0 & mid0)
+    # Step 1: the corridor joins them into one component.
+    strip1 = _labels_of(labelings[1], STRIP_IDS)
+    mid1 = _labels_of(labelings[1], MID_IDS)
+    assert len(strip1) == 1 and strip1 & mid1
+
+    tree = track_components(labelings)
+    merges = [e for e in tree.events_at(1) if e.kind == "merge"]
+    assert any(
+        strip0 <= set(e.labels_from) and mid0 & set(e.labels_from)
+        for e in merges
+    ), f"no merge linking seam void {strip0} with mid {mid0}: {merges}"
+
+
+def _seam_tracking_worker(comm, steps, decomp, vmins):
+    """One rank: tessellate + label each step distributed, restrict to the
+    rank's own block rows, and link across steps."""
+    labelings = {}
+    for step, (pts, ids) in steps.items():
+        mine = decomp.locate(pts) == comm.rank
+        block, _, _ = tessellate_distributed(
+            comm, decomp, pts[mine], ids[mine], ghost=4.0
+        )
+        glab = connected_components_distributed(
+            comm, block, vmin=vmins[step]
+        )
+        labelings[step] = local_labeling(
+            glab, np.asarray(block.site_ids, dtype=np.int64)
+        )
+    return track_components_distributed(comm, labelings)
+
+
+@pytest.mark.parametrize("exec_backend", ["thread", "process"])
+@pytest.mark.parametrize("nranks", [1, 2, 4])
+def test_seam_merge_distributed_matches_serial(
+    seam_merge_case, nranks, exec_backend
+):
+    steps, vmins, labelings = seam_merge_case
+    ref = track_components(labelings)
+    decomp = Decomposition.regular(Bounds.cube(BOX), nranks, periodic=True)
+    trees = run_parallel(
+        nranks,
+        _seam_tracking_worker,
+        steps,
+        decomp,
+        vmins,
+        backend=exec_backend,
+    )
+    for tree in trees:
+        assert tree == ref
+
+
+# ----------------------------------------------------------------------
+# in situ tool: invalid-cell masking, observe counters, kill-and-resume
+# ----------------------------------------------------------------------
+class _StubSim:
+    """Bare sim stand-in for context-driven serial tool runs."""
+
+    recovery = None
+
+
+def test_tool_threshold_masks_invalid_cells(seam_merge_case):
+    """Incomplete cells (volume 0/NaN) must not crash or poison the
+    quantile-threshold path of the tracking tool."""
+    from repro.insitu import TrackingTool
+
+    steps, _, _ = seam_merge_case
+    pts0, ids0 = steps[0]
+    tess = tessellate(pts0, Bounds.cube(BOX), nblocks=1, ghost=4.0, ids=ids0)
+    # Corrupt a few cells the way incomplete distributed cells present.
+    tess.blocks[0].volumes[0] = np.nan
+    tess.blocks[0].volumes[1] = 0.0
+    tess.blocks[0].volumes[2] = -1.0
+
+    clean_vols = tess.volumes()[3:]
+    expected_vmin = float(np.quantile(clean_vols, 0.9))
+
+    tool = TrackingTool(vmin_quantile=0.9)
+    assert tool._threshold(tess.volumes()) == expected_vmin
+
+    mt = tool.run(_StubSim(), 0, 1.0, None, context={"tessellation": tess})
+    assert mt.num_tracks > 0
+    bad = {int(tess.blocks[0].site_ids[i]) for i in range(3)}
+    tree = mt.to_tree()
+    labeled = set()
+    for track in tree.tracks:
+        labeled.add(track.labels[0])
+    # none of the corrupted cells may have been kept
+    kept = set(tool._builder._prev.site_ids.tolist())
+    assert not (bad & kept)
+
+
+def test_tool_threshold_all_invalid_keeps_nothing():
+    from repro.insitu import TrackingTool
+
+    tool = TrackingTool(vmin_quantile=0.5)
+    vols = np.array([np.nan, 0.0, -2.0])
+    assert tool._threshold(vols) == float("inf")
+
+
+def test_tool_emits_observe_counters(seam_merge_case):
+    from repro.insitu import TrackingTool
+
+    _, _, labelings = seam_merge_case
+    observe.enable()
+    try:
+        tool = TrackingTool(vmin_quantile=0.9)
+        builder = tool._get_builder(_StubSim())
+        builder.push(0, labelings[0])
+        builder.push(1, labelings[1])
+        merges = observe.registry().counter("tracking.merges").value
+        assert merges >= 1
+    finally:
+        observe.disable()
+        observe.reset_all()
+
+
+def _tool_tree_runs(cfg, nranks, backend, state_dir, ckpt_dir=None,
+                    resume=False):
+    from repro.insitu import run_simulation_with_tools
+
+    fw = {
+        "tools": [
+            {
+                "tool": "tracking",
+                "every": 2,
+                "params": {"vmin_quantile": 0.8, "state_dir": state_dir},
+            }
+        ]
+    }
+    kwargs = {}
+    if ckpt_dir is not None:
+        kwargs = {
+            "checkpoint_dir": ckpt_dir,
+            "checkpoint_every": 2,
+            "resume": resume,
+        }
+    return run_simulation_with_tools(
+        cfg, fw, nranks=nranks, backend=backend, **kwargs
+    )
+
+
+@pytest.mark.parametrize("exec_backend", ["thread", "process"])
+def test_tool_kill_and_resume_bit_identical(tmp_path, exec_backend):
+    """A rank killed mid-sequence, then resumed from the last checkpoint,
+    must reproduce the uninterrupted merger tree bit for bit — including
+    the tracking state carried across the restart."""
+    from repro.hacc.simulation import SimulationConfig
+
+    cfg = SimulationConfig(np_side=6, nsteps=8, seed=5)
+    ref = _tool_tree_runs(
+        cfg, 2, exec_backend, str(tmp_path / "ref_state")
+    )
+
+    state = str(tmp_path / "state")
+    ckpt = str(tmp_path / "ckpt")
+    faults.install(faults.FaultSpec(kill_rank=1, kill_step=5, kill_mode="raise"))
+    with pytest.raises(ParallelError):
+        _tool_tree_runs(cfg, 2, exec_backend, state, ckpt_dir=ckpt)
+    faults.clear()
+    # The tool fired (and snapshotted state) at steps 2 and 4 pre-crash.
+    assert any(
+        f.startswith("tracking_state_") for f in os.listdir(state)
+    )
+
+    resumed = _tool_tree_runs(
+        cfg, 2, exec_backend, state, ckpt_dir=ckpt, resume=True
+    )
+    assert resumed.resumed_step == 4
+    assert sorted(resumed["tracking"]) == [6, 8]
+
+    final_ref = ref["tracking"][max(ref["tracking"])]
+    final_res = resumed["tracking"][max(resumed["tracking"])]
+    assert set(final_ref.arrays) == set(final_res.arrays)
+    for key in final_ref.arrays:
+        np.testing.assert_array_equal(
+            final_ref.arrays[key], final_res.arrays[key]
+        )
+
+
+@pytest.mark.parametrize("nranks", [1, 2, 4])
+def test_tool_structure_identical_across_rank_counts(tmp_path, nranks):
+    """Tool-level cross-rank-count contract: events, track structure and
+    sizes are bit-identical; volume histories agree to rounding (cell
+    volumes are decomposition-dependent in the last bits)."""
+    from repro.hacc.simulation import SimulationConfig
+
+    cfg = SimulationConfig(np_side=6, nsteps=4, seed=3)
+    ref = _tool_tree_runs(cfg, 1, "thread", str(tmp_path / "s1"))
+    got = _tool_tree_runs(cfg, nranks, "thread", str(tmp_path / f"s{nranks}"))
+    for step in ref["tracking"]:
+        t_ref = ref["tracking"][step].to_tree()
+        t_got = got["tracking"][step].to_tree()
+        assert t_got.events == t_ref.events
+        assert len(t_got.tracks) == len(t_ref.tracks)
+        for a, b in zip(t_got.tracks, t_ref.tracks):
+            assert a.steps == b.steps
+            assert a.labels == b.labels
+            assert a.sizes == b.sizes
+            np.testing.assert_allclose(a.volumes, b.volumes, rtol=1e-9)
